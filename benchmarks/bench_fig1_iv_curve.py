@@ -1,0 +1,32 @@
+"""E1 / Fig. 1 — I-V curve of the Schott 1116929 under artificial light.
+
+Regenerates the paper's figure as a printed (V, I, P) series with the
+MPP located at 1000 lux, plus characteristic-point rows at the context
+intensities.  Shape assertions: monotone current, unimodal power, a-Si
+k band.
+"""
+
+import numpy as np
+
+from repro.experiments import fig1
+
+
+def test_fig1_iv_curve(benchmark, save_result):
+    results = benchmark.pedantic(fig1.run_iv_curves, rounds=1, iterations=1)
+
+    save_result("fig1_iv_curve", fig1.render(results))
+
+    r = results[1000.0]
+    assert np.all(np.diff(r.currents) <= 1e-12), "I-V must be monotone"
+    peak = int(np.argmax(r.powers))
+    assert 0 < peak < len(r.powers) - 1, "P-V must peak inside the sweep"
+    assert 0.55 < r.mpp.k < 0.85, "a-Si fractional-Voc band"
+
+
+def test_fig1_mpp_solve_speed(benchmark):
+    """Microbenchmark: one MPP solve on the calibrated Schott curve."""
+    from repro.pv.cells import schott_1116929
+
+    model = schott_1116929().model_at(1000.0)
+    mpp = benchmark(model.mpp)
+    assert mpp.power > 0.0

@@ -1,0 +1,35 @@
+"""E2 / Fig. 2 — 24-hour open-circuit-voltage logs.
+
+Regenerates both logged scenarios (office desk with blinds closed;
+semi-mobile day with the lunchtime outdoor excursion) as hourly summary
+rows, and checks the two human-visible events the paper points at:
+sunrise and the end-of-day lights-off step.
+"""
+
+from repro.experiments import fig2
+
+
+def test_fig2_desk_log(benchmark, save_result):
+    log = benchmark.pedantic(lambda: fig2.run_log("desk", dt=10.0), rounds=1, iterations=1)
+
+    save_result("fig2_desk_log", fig2.render(log))
+
+    events = fig2.detect_events(log)
+    assert events["sunrise"] is not None, "sunrise must be identifiable"
+    assert events["lights_off"] is not None, "lights-off must be identifiable"
+
+
+def test_fig2_semi_mobile_log(benchmark, save_result):
+    log = benchmark.pedantic(
+        lambda: fig2.run_log("semi-mobile", dt=10.0), rounds=1, iterations=1
+    )
+
+    save_result("fig2_semi_mobile_log", fig2.render(log))
+
+    import numpy as np
+
+    lunch = (log.times > 12.2 * 3600) & (log.times < 12.8 * 3600)
+    morning = (log.times > 10.0 * 3600) & (log.times < 11.0 * 3600)
+    assert np.mean(log.lux[lunch]) > 10.0 * np.mean(log.lux[morning]), (
+        "the outdoor excursion must dominate indoor light by an order of magnitude"
+    )

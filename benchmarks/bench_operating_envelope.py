@@ -1,0 +1,19 @@
+"""E15 (extension) — the title claim as a map: tracking efficiency over
+the full (illuminance, cell-temperature) operating envelope."""
+
+from repro.experiments import envelope
+
+
+def test_operating_envelope(benchmark, save_result):
+    result = benchmark.pedantic(envelope.run_envelope, rounds=1, iterations=1)
+
+    save_result("operating_envelope", envelope.render(result))
+
+    # "Indoor and outdoor": no cliff anywhere on the plane — the paper
+    # trim keeps harvesting from 100 lux at 0 degC to full sun at 55 degC.
+    assert result.worst > 0.7
+    assert result.best > 0.98
+    # Efficiency is finite and sane everywhere.
+    import numpy as np
+
+    assert np.all((result.efficiency > 0.0) & (result.efficiency <= 1.0))

@@ -1,0 +1,46 @@
+"""E3 / Sec. II-B — Eq. (2) worst-case mean sampling error.
+
+Regenerates the paper's two headline numbers (12.7 mV desk / 24.1 mV
+semi-mobile at a 1-minute hold) over our synthetic logs, the MPP-error
+mapping, the <1 % efficiency-loss conclusion, and the hold-period sweep
+behind the ">60 s is fine" design decision.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments import fig2, sec2b
+
+
+def test_sec2b_paper_points(benchmark, save_result):
+    desk_result, mobile_result = benchmark.pedantic(
+        lambda: sec2b.run_paper_points(dt=10.0), rounds=1, iterations=1
+    )
+
+    save_result("sec2b_sampling_error", sec2b.render([desk_result, mobile_result]))
+
+    # Shape: same order of magnitude as the paper's 12.7 / 24.1 mV,
+    # mobile worse than desk, and both under 1 % efficiency loss.
+    assert 3e-3 < desk_result.mean_error_v < 40e-3
+    assert 8e-3 < mobile_result.mean_error_v < 80e-3
+    assert mobile_result.mean_error_v > desk_result.mean_error_v
+    assert desk_result.efficiency_loss < 0.01
+    assert mobile_result.efficiency_loss < 0.01
+
+
+def test_sec2b_period_sweep(benchmark, save_result):
+    log = fig2.run_log("semi-mobile", dt=10.0)
+    periods = (10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0)
+
+    errors = benchmark.pedantic(
+        lambda: sec2b.period_sweep(log, periods), rounds=1, iterations=1
+    )
+
+    rows = [
+        [f"{p:.0f}", f"{e * 1e3:.1f}"] for p, e in zip(periods, errors)
+    ]
+    save_result(
+        "sec2b_period_sweep",
+        format_table(["period(s)", "E_voc(mV)"], rows,
+                     title="Sec.II-B — Eq.(2) error vs hold period (semi-mobile log)"),
+    )
+
+    assert all(b >= a for a, b in zip(errors, errors[1:])), "error grows with period"

@@ -1,0 +1,35 @@
+"""E6 / Sec. IV-A — astable timing and current-draw measurement.
+
+Regenerates the bench measurements: 39 ms / 69 s astable timing, the
+7.6 uA astable + S&H average draw, the ~8 uA total metrology draw, and
+the "<18 % of the cell's 200-lux output" comparison — plus the itemised
+budget behind the totals.
+"""
+
+import pytest
+
+from repro.experiments import sec4a
+
+
+def test_sec4a_power_measurement(benchmark, save_result):
+    result = benchmark.pedantic(sec4a.run_power_measurement, rounds=1, iterations=1)
+
+    save_result("sec4a_power", sec4a.render(result))
+
+    assert result.t_on == pytest.approx(39e-3, rel=0.01), "astable 'on' period"
+    assert result.t_off == pytest.approx(69.0, rel=0.01), "astable 'off' period"
+    assert result.chain_current == pytest.approx(7.6e-6, rel=0.02), "7.6 uA chain"
+    assert result.metrology_current == pytest.approx(8e-6, rel=0.08), "~8 uA total"
+    assert result.cell_op_current_200lux == pytest.approx(42e-6, rel=0.02), "42 uA op point"
+    assert result.overhead_fraction_200lux < 0.20, "<~18 % of the cell's current"
+
+
+def test_sec4a_budget_breakdown(benchmark, save_result):
+    from repro.analysis.power_budget import proposed_platform_budget
+
+    budget = benchmark(proposed_platform_budget)
+    save_result("sec4a_budget", budget.render())
+
+    # The buffers dominate; the comparators come next; passives are noise.
+    assert budget.total_current("sample-hold") > budget.total_current("astable")
+    assert budget.total_current("astable") > 0.5e-6

@@ -1,0 +1,33 @@
+"""E5 / Table I — test of tracking accuracy.
+
+Regenerates the paper's table: Voc, HELD_SAMPLE, and k at twelve
+intensities from 200 to 5000 lux (three repeats, means reported),
+printed alongside the published columns.
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1_tracking_accuracy(benchmark, save_result):
+    rows = benchmark.pedantic(table1.run_table1, rounds=1, iterations=1)
+
+    save_result("table1_tracking", table1.render(rows))
+
+    # Every Voc within 1 % and every HELD within 2 % of the paper.
+    for row in rows:
+        paper_voc, paper_held, paper_k = table1.PAPER_TABLE1[int(row.lux)]
+        assert row.voc == pytest.approx(paper_voc, rel=0.01), f"Voc @ {row.lux} lux"
+        assert row.held == pytest.approx(paper_held, rel=0.02), f"HELD @ {row.lux} lux"
+
+    # The paper's headline: all k in 59.2..60.1 % (we allow the same
+    # width shifted by our bench-noise realisation).
+    lo, hi = table1.k_band(rows)
+    assert lo > 58.7 and hi < 60.6, f"k band {lo:.1f}..{hi:.1f} outside tolerance"
+
+
+def test_table1_single_point_speed(benchmark):
+    """Microbenchmark: one full sample-and-measure at one intensity."""
+    rows = benchmark(lambda: table1.run_table1(lux_levels=(1000.0,), repeats=1))
+    assert len(rows) == 1

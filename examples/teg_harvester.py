@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""TEG harvester: the paper's claimed extension beyond photovoltaics.
+
+Sec. I notes the technique "is also applicable to other forms of energy
+harvesting (such as thermoelectric generators) which feature a similar
+relationship between the open-circuit and MPP voltage".  For a TEG that
+relationship is exact (MPP at Voc/2), so the S&H chain retrimmed to
+k = 0.5 is an essentially perfect tracker.  This example sweeps a
+body-heat-scale temperature differential and compares the S&H-driven
+operating point against the true MPP.
+
+Run:  python examples/teg_harvester.py
+"""
+
+from repro import ThermoelectricGenerator
+from repro.experiments import teg as teg_experiment
+from repro.units import si_format
+
+
+def main() -> None:
+    teg = ThermoelectricGenerator(
+        seebeck_v_per_k=0.025,
+        internal_resistance=8.0,
+        name="wearable-TEG",
+    )
+    print(f"TEG: {teg.name} (S = {teg.seebeck_v_per_k * 1e3:.0f} mV/K, "
+          f"R = {teg.internal_resistance:.0f} ohm)\n")
+
+    points = teg_experiment.run_teg_sweep(
+        teg=teg, delta_ts=(0.5, 1.0, 2.0, 5.0, 10.0)
+    )
+    print(teg_experiment.render(points))
+
+    body_heat = points[1]  # ~1 K across a wearable TEG
+    print(f"\nAt a body-heat differential of {body_heat.delta_t:.0f} K the S&H-driven")
+    print(f"operating point extracts {si_format(body_heat.power, 'W')} of the "
+          f"{si_format(body_heat.mpp_power, 'W')} available "
+          f"({body_heat.tracking_efficiency * 100:.2f} %),")
+    print("with the same 8 uA metrology the PV prototype used — no pilot")
+    print("sensor, no microcontroller, and k = 0.5 exact for a Thevenin source.")
+
+
+if __name__ == "__main__":
+    main()

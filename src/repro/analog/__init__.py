@@ -1,0 +1,52 @@
+"""Behavioural analog-circuit substrate.
+
+The paper's prototype is a handful of micropower parts around the PV
+cell: an LMC7215-class comparator wired as an astable, an analog switch,
+a low-leakage polyester sampling capacitor, two unity-gain op-amp
+buffers, a second comparator for the ACTIVE sanity check, and MOSFET
+switches.  This package models each part behaviourally at datasheet
+fidelity (on-resistance, leakage, bias current, offset, hysteresis,
+quiescent current) and provides a small modified-nodal-analysis DC
+solver (:mod:`repro.analog.mna`) used to compute loaded operating
+points — e.g. what voltage actually lands on the hold capacitor when
+the divider loads the PV cell during a sample.
+"""
+
+from repro.analog.components import Resistor, Capacitor, ResistiveDivider, POLYESTER_FILM, CERAMIC_X7R, ELECTROLYTIC
+from repro.analog.comparator import Comparator, LMC7215
+from repro.analog.opamp import UnityGainBuffer, MICROPOWER_BUFFER
+from repro.analog.mosfet import MosfetSwitch, LOW_THRESHOLD_NFET, LOW_THRESHOLD_PFET
+from repro.analog.switch import AnalogSwitch, MICROPOWER_ANALOG_SWITCH
+from repro.analog.mna import Circuit, DCSolution
+from repro.analog.eseries import E12, E24, E96, nearest_value, best_ratio_pair, rounding_error
+from repro.analog.diode import Diode, DiodeSpec, SILICON_SMALL_SIGNAL, SCHOTTKY_SMALL_SIGNAL
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "ResistiveDivider",
+    "POLYESTER_FILM",
+    "CERAMIC_X7R",
+    "ELECTROLYTIC",
+    "Comparator",
+    "LMC7215",
+    "UnityGainBuffer",
+    "MICROPOWER_BUFFER",
+    "MosfetSwitch",
+    "LOW_THRESHOLD_NFET",
+    "LOW_THRESHOLD_PFET",
+    "AnalogSwitch",
+    "MICROPOWER_ANALOG_SWITCH",
+    "Circuit",
+    "DCSolution",
+    "E12",
+    "E24",
+    "E96",
+    "nearest_value",
+    "best_ratio_pair",
+    "rounding_error",
+    "Diode",
+    "DiodeSpec",
+    "SILICON_SMALL_SIGNAL",
+    "SCHOTTKY_SMALL_SIGNAL",
+]

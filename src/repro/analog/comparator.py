@@ -1,0 +1,123 @@
+"""Micropower comparator model (LMC7215 class).
+
+Two comparators appear in the paper's platform: one wired as the astable
+multivibrator that times the sampling, and one (U5) generating the
+ACTIVE output that stops the converter starting on an invalid held
+sample.  What matters at system level is quiescent current, offset,
+optional built-in hysteresis, propagation delay, and the rail-to-rail
+output drive — all captured here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class ComparatorSpec:
+    """Datasheet-level comparator description.
+
+    Attributes:
+        name: part designation.
+        quiescent_current: supply current, amps.
+        input_offset: worst-case input offset voltage, volts.
+        hysteresis: built-in input hysteresis (total width), volts.
+        propagation_delay: low-to-high propagation delay, seconds.
+        min_supply: minimum operating supply, volts — relevant to
+            cold-start, where the comparator must wake on a barely
+            charged reservoir.
+        input_bias_current: input bias current, amps.
+    """
+
+    name: str
+    quiescent_current: float
+    input_offset: float = 0.0
+    hysteresis: float = 0.0
+    propagation_delay: float = 0.0
+    min_supply: float = 1.6
+    input_bias_current: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.quiescent_current < 0.0:
+            raise ModelParameterError(f"quiescent_current must be >= 0, got {self.quiescent_current!r}")
+        if self.hysteresis < 0.0:
+            raise ModelParameterError(f"hysteresis must be >= 0, got {self.hysteresis!r}")
+        if self.min_supply <= 0.0:
+            raise ModelParameterError(f"min_supply must be positive, got {self.min_supply!r}")
+
+
+LMC7215 = ComparatorSpec(
+    name="LMC7215",
+    quiescent_current=0.7e-6,
+    input_offset=3e-3,
+    hysteresis=0.0,
+    propagation_delay=25e-6,
+    min_supply=2.0,
+    input_bias_current=4e-12,
+)
+"""National Semiconductor LMC7215 — the paper's micropower comparator."""
+
+
+@dataclass
+class Comparator:
+    """A comparator instance with state (for hysteresis and delay modelling).
+
+    Args:
+        spec: datasheet parameters.
+        supply: supply-rail voltage the output swings to, volts.
+        inverting: swap the input sense.
+    """
+
+    spec: ComparatorSpec = field(default_factory=lambda: LMC7215)
+    supply: float = 3.3
+    inverting: bool = False
+    _output_high: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.supply <= 0.0:
+            raise ModelParameterError(f"supply must be positive, got {self.supply!r}")
+
+    @property
+    def output_high(self) -> bool:
+        """Current logical output state."""
+        return self._output_high
+
+    @property
+    def output_voltage(self) -> float:
+        """Current output voltage (rail-to-rail drive)."""
+        return self.supply if self._output_high else 0.0
+
+    @property
+    def alive(self) -> bool:
+        """Whether the supply is above the part's minimum operating voltage."""
+        return self.supply >= self.spec.min_supply
+
+    def evaluate(self, v_plus: float, v_minus: float) -> bool:
+        """Update and return the output for the given input pair.
+
+        Includes input offset and hysteresis centred on the switching
+        threshold; with the supply below ``min_supply`` the output is
+        forced (and held) low, which is what lets the cold-start chain
+        rely on a dead comparator staying quiet.
+        """
+        self.supply = float(self.supply)
+        if not self.alive:
+            self._output_high = False
+            return False
+        differential = (v_plus - v_minus) + self.spec.input_offset
+        if self.inverting:
+            differential = -differential
+        half_band = self.spec.hysteresis / 2.0
+        if self._output_high:
+            if differential < -half_band:
+                self._output_high = False
+        else:
+            if differential > half_band:
+                self._output_high = True
+        return self._output_high
+
+    def supply_current(self) -> float:
+        """Instantaneous supply current, amps (zero if below min supply)."""
+        return self.spec.quiescent_current if self.alive else 0.0

@@ -1,0 +1,215 @@
+"""Passive components with the non-idealities the paper designs around.
+
+The S&H accuracy budget is dominated by passives: the divider resistors
+set the sampled fraction (and the sampling current stolen from the
+cell), and the hold capacitor's *leakage* sets how fast HELD_SAMPLE
+droops over the 69-second hold — the reason the authors call out a
+"low-leakage polyester capacitor" specifically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A resistor with tolerance and optional temperature coefficient.
+
+    Attributes:
+        ohms: nominal resistance.
+        tolerance: fractional tolerance (0.01 = 1 %).
+        temp_coeff_ppm: temperature coefficient, ppm/K.
+    """
+
+    ohms: float
+    tolerance: float = 0.01
+    temp_coeff_ppm: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.ohms <= 0.0:
+            raise ModelParameterError(f"resistance must be positive, got {self.ohms!r}")
+        if not 0.0 <= self.tolerance < 1.0:
+            raise ModelParameterError(f"tolerance must be in [0, 1), got {self.tolerance!r}")
+
+    def at_temperature(self, delta_k: float) -> float:
+        """Resistance (ohms) at ``delta_k`` kelvin away from nominal."""
+        return self.ohms * (1.0 + self.temp_coeff_ppm * 1e-6 * delta_k)
+
+    def current(self, volts: float) -> float:
+        """Ohm's law current (amps) for a voltage across the part."""
+        return volts / self.ohms
+
+    def power(self, volts: float) -> float:
+        """Dissipated power (watts) for a voltage across the part."""
+        return volts * volts / self.ohms
+
+
+@dataclass(frozen=True)
+class DielectricClass:
+    """Capacitor dielectric characteristics relevant to holding a sample.
+
+    Attributes:
+        name: dielectric family name.
+        insulation_ohm_farads: insulation-resistance quality factor,
+            ohm-farads — ``R_leak = insulation_ohm_farads / C``.  The
+            standard figure of merit film/ceramic datasheets quote.
+        dielectric_absorption: fractional voltage rebound after a
+            sample step (soakage), dimensionless.
+    """
+
+    name: str
+    insulation_ohm_farads: float
+    dielectric_absorption: float
+
+    def __post_init__(self) -> None:
+        if self.insulation_ohm_farads <= 0.0:
+            raise ModelParameterError(
+                f"insulation_ohm_farads must be positive, got {self.insulation_ohm_farads!r}"
+            )
+        if not 0.0 <= self.dielectric_absorption < 0.2:
+            raise ModelParameterError(
+                f"dielectric_absorption must be in [0, 0.2), got {self.dielectric_absorption!r}"
+            )
+
+
+POLYESTER_FILM = DielectricClass(
+    name="polyester-film",
+    insulation_ohm_farads=25_000.0,
+    dielectric_absorption=0.003,
+)
+"""Polyester (PET) film — the paper's hold-capacitor choice; R*C ~ 25 kOhmF."""
+
+CERAMIC_X7R = DielectricClass(
+    name="ceramic-X7R",
+    insulation_ohm_farads=1_000.0,
+    dielectric_absorption=0.025,
+)
+"""X7R ceramic — compact but leakier and with worse soakage."""
+
+ELECTROLYTIC = DielectricClass(
+    name="aluminium-electrolytic",
+    insulation_ohm_farads=30.0,
+    dielectric_absorption=0.1,
+)
+"""Aluminium electrolytic — unusable as a hold cap; included for the ablation."""
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A capacitor with dielectric-dependent leakage.
+
+    Attributes:
+        farads: nominal capacitance.
+        dielectric: dielectric family (sets leakage and soakage).
+    """
+
+    farads: float
+    dielectric: DielectricClass = POLYESTER_FILM
+
+    def __post_init__(self) -> None:
+        if self.farads <= 0.0:
+            raise ModelParameterError(f"capacitance must be positive, got {self.farads!r}")
+
+    @property
+    def leakage_resistance(self) -> float:
+        """Self-leakage resistance, ohms (``R_iso*C / C``)."""
+        return self.dielectric.insulation_ohm_farads / self.farads
+
+    def leakage_current(self, volts: float) -> float:
+        """Self-leakage current (amps) at a hold voltage."""
+        return volts / self.leakage_resistance
+
+    def droop(self, volts: float, hold_seconds: float, external_bias_a: float = 0.0) -> float:
+        """Voltage remaining after holding for ``hold_seconds``.
+
+        Self-leakage discharges exponentially through the insulation
+        resistance; an external constant bias current (e.g. buffer input
+        bias) discharges linearly on top.
+
+        Args:
+            volts: initial held voltage.
+            hold_seconds: hold duration, seconds.
+            external_bias_a: constant external discharge current, amps.
+
+        Returns:
+            The held voltage after the interval, floored at 0 for a
+            positive initial voltage.
+        """
+        if hold_seconds < 0.0:
+            raise ModelParameterError(f"hold_seconds must be >= 0, got {hold_seconds!r}")
+        tau = self.leakage_resistance * self.farads
+        v = volts * math.exp(-hold_seconds / tau)
+        v -= external_bias_a * hold_seconds / self.farads
+        if volts >= 0.0:
+            return max(0.0, v)
+        return v
+
+    def stored_energy(self, volts: float) -> float:
+        """Stored energy (joules) at a terminal voltage."""
+        return 0.5 * self.farads * volts * volts
+
+    def settle_time(self, source_ohms: float, settle_fraction: float = 1e-3) -> float:
+        """Time to charge within ``settle_fraction`` of final value through ``source_ohms``."""
+        if source_ohms <= 0.0:
+            raise ModelParameterError(f"source_ohms must be positive, got {source_ohms!r}")
+        if not 0.0 < settle_fraction < 1.0:
+            raise ModelParameterError(f"settle_fraction must be in (0, 1), got {settle_fraction!r}")
+        return source_ohms * self.farads * math.log(1.0 / settle_fraction)
+
+
+@dataclass(frozen=True)
+class ResistiveDivider:
+    """Two-resistor divider: output tap between ``top`` and ``bottom``.
+
+    The S&H front-end divides Voc by ``k * alpha`` with this network
+    (R1 = top, R2 = bottom in the paper's schematic; R2 is the trimmable
+    element).
+
+    Attributes:
+        top: resistor from input to tap.
+        bottom: resistor from tap to ground.
+    """
+
+    top: Resistor
+    bottom: Resistor
+
+    @property
+    def ratio(self) -> float:
+        """Unloaded division ratio ``R_bottom / (R_top + R_bottom)``."""
+        return self.bottom.ohms / (self.top.ohms + self.bottom.ohms)
+
+    @property
+    def total_resistance(self) -> float:
+        """End-to-end resistance, ohms (the current the divider steals)."""
+        return self.top.ohms + self.bottom.ohms
+
+    @property
+    def output_resistance(self) -> float:
+        """Thevenin output resistance at the tap, ohms."""
+        return self.top.ohms * self.bottom.ohms / (self.top.ohms + self.bottom.ohms)
+
+    def loaded_ratio(self, load_ohms: float) -> float:
+        """Division ratio with a resistive load on the tap."""
+        if load_ohms <= 0.0:
+            raise ModelParameterError(f"load_ohms must be positive, got {load_ohms!r}")
+        bottom_parallel = self.bottom.ohms * load_ohms / (self.bottom.ohms + load_ohms)
+        return bottom_parallel / (self.top.ohms + bottom_parallel)
+
+    def input_current(self, volts: float) -> float:
+        """Current drawn from the source at input voltage ``volts`` (unloaded tap)."""
+        return volts / self.total_resistance
+
+    @staticmethod
+    def from_ratio(ratio: float, total_ohms: float) -> "ResistiveDivider":
+        """Build a divider with a given unloaded ratio and end-to-end resistance."""
+        if not 0.0 < ratio < 1.0:
+            raise ModelParameterError(f"ratio must be in (0, 1), got {ratio!r}")
+        if total_ohms <= 0.0:
+            raise ModelParameterError(f"total_ohms must be positive, got {total_ohms!r}")
+        bottom = ratio * total_ohms
+        top = total_ohms - bottom
+        return ResistiveDivider(top=Resistor(top), bottom=Resistor(bottom))

@@ -1,0 +1,126 @@
+"""Junction diode model (D1's real behaviour).
+
+The cold-start path charges C1 through diode D1; the bootstrap paths of
+the baseline systems use a series diode too.  The fixed-drop
+approximation used in the system-level models is adequate there, but
+the MNA solver can carry the real exponential element — this module
+provides it, with the standard Shockley law plus series resistance, and
+the companion-model callables the solver needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class DiodeSpec:
+    """Datasheet-level junction diode description.
+
+    Attributes:
+        name: part designation.
+        saturation_current: Shockley I_s, amps.
+        ideality: emission coefficient n.
+        series_resistance: ohmic series term, ohms.
+        temperature: junction temperature, kelvin.
+    """
+
+    name: str
+    saturation_current: float = 1e-9
+    ideality: float = 1.9
+    series_resistance: float = 0.5
+    temperature: float = 298.15
+
+    def __post_init__(self) -> None:
+        if self.saturation_current <= 0.0:
+            raise ModelParameterError(
+                f"saturation_current must be positive, got {self.saturation_current!r}"
+            )
+        if self.ideality <= 0.0:
+            raise ModelParameterError(f"ideality must be positive, got {self.ideality!r}")
+        if self.series_resistance < 0.0:
+            raise ModelParameterError(
+                f"series_resistance must be >= 0, got {self.series_resistance!r}"
+            )
+
+
+SCHOTTKY_SMALL_SIGNAL = DiodeSpec(
+    name="schottky-small-signal",
+    saturation_current=2e-7,
+    ideality=1.1,
+    series_resistance=0.6,
+)
+"""A BAT54-class Schottky — the natural D1 choice (low forward drop)."""
+
+SILICON_SMALL_SIGNAL = DiodeSpec(
+    name="silicon-small-signal",
+    saturation_current=3e-9,
+    ideality=1.9,
+    series_resistance=0.6,
+)
+"""A 1N4148-class silicon diode."""
+
+
+class Diode:
+    """A junction diode usable standalone or as an MNA nonlinear element.
+
+    Args:
+        spec: datasheet parameters.
+    """
+
+    def __init__(self, spec: DiodeSpec = SILICON_SMALL_SIGNAL):
+        self.spec = spec
+
+    @property
+    def thermal_voltage(self) -> float:
+        """n·kT/q, volts — the exponential scale."""
+        from repro.units import thermal_voltage
+
+        return self.spec.ideality * thermal_voltage(self.spec.temperature)
+
+    def current(self, voltage: float) -> float:
+        """Diode current (amps) at a terminal voltage (anode - cathode).
+
+        Solves the implicit Shockley + Rs equation by Newton iteration
+        (a handful of steps; the exponent is clamped for stability).
+        """
+        vt = self.thermal_voltage
+        i_s = self.spec.saturation_current
+        rs = self.spec.series_resistance
+        if rs == 0.0:
+            return i_s * math.expm1(min(voltage / vt, 80.0))
+        # Solve i = Is*(exp((v - i*rs)/vt) - 1).
+        i = max(0.0, (voltage - 0.5) / rs) if voltage > 0.5 else 0.0
+        for _ in range(60):
+            exponent = min((voltage - i * rs) / vt, 80.0)
+            f = i_s * math.expm1(exponent) - i
+            dfdi = -i_s * math.exp(exponent) * rs / vt - 1.0
+            step = f / dfdi
+            i -= step
+            if abs(step) < 1e-15 + 1e-12 * abs(i):
+                break
+        return i
+
+    def conductance(self, voltage: float) -> float:
+        """Small-signal dI/dV at a terminal voltage (for Newton solvers)."""
+        h = 1e-6
+        return (self.current(voltage + h) - self.current(voltage - h)) / (2.0 * h)
+
+    def forward_drop(self, current: float) -> float:
+        """Terminal voltage (volts) carrying ``current`` forward.
+
+        Raises:
+            ModelParameterError: for non-positive current.
+        """
+        if current <= 0.0:
+            raise ModelParameterError(f"current must be positive, got {current!r}")
+        vt = self.thermal_voltage
+        v_junction = vt * math.log1p(current / self.spec.saturation_current)
+        return v_junction + current * self.spec.series_resistance
+
+    def add_to_circuit(self, circuit, anode: str, cathode: str) -> None:
+        """Attach this diode between two nodes of an MNA circuit."""
+        circuit.add_nonlinear(anode, cathode, self.current, self.conductance)

@@ -1,0 +1,125 @@
+"""IEC 60063 E-series standard component values.
+
+The prototype is built from catalogue parts, so every synthesised
+design (astable timing network, divider trim, hold capacitor) must land
+on standard E-series values — and the rounding error is a real term in
+the accuracy budget (it is part of why the paper fits a trimmer in place
+of R2).  This module provides the preferred-number series, nearest-value
+selection, and ratio approximation with value pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import ModelParameterError
+
+E12 = (1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2)
+"""E12 series (10 % tolerance class)."""
+
+E24 = (
+    1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0,
+    3.3, 3.6, 3.9, 4.3, 4.7, 5.1, 5.6, 6.2, 6.8, 7.5, 8.2, 9.1,
+)
+"""E24 series (5 % tolerance class)."""
+
+E96 = tuple(round(10 ** (i / 96.0), 2) for i in range(96))
+"""E96 series (1 % tolerance class), generated per IEC 60063."""
+
+_SERIES = {"E12": E12, "E24": E24, "E96": E96}
+
+
+def series_values(name: str) -> Tuple[float, ...]:
+    """The decade mantissas of a named series ('E12', 'E24', 'E96')."""
+    try:
+        return _SERIES[name]
+    except KeyError:
+        raise ModelParameterError(
+            f"unknown series {name!r}; available: {sorted(_SERIES)}"
+        ) from None
+
+
+def nearest_value(target: float, series: str = "E24") -> float:
+    """The standard value closest (log-distance) to ``target``.
+
+    Args:
+        target: desired value (ohms, farads, ... unit-agnostic).
+        series: which E-series to draw from.
+
+    Returns:
+        The nearest preferred value.
+    """
+    if target <= 0.0:
+        raise ModelParameterError(f"target must be positive, got {target!r}")
+    mantissas = series_values(series)
+    exponent = math.floor(math.log10(target))
+    best = None
+    best_error = float("inf")
+    for exp in (exponent - 1, exponent, exponent + 1):
+        for m in mantissas:
+            value = m * 10.0**exp
+            error = abs(math.log(value / target))
+            if error < best_error:
+                best_error = error
+                best = value
+    return best
+
+
+def round_to_series(values: Sequence[float], series: str = "E24") -> List[float]:
+    """Nearest standard value for each entry of ``values``."""
+    return [nearest_value(v, series) for v in values]
+
+
+def rounding_error(target: float, series: str = "E24") -> float:
+    """Fractional error committed by snapping ``target`` to the series."""
+    return nearest_value(target, series) / target - 1.0
+
+
+def best_ratio_pair(
+    ratio: float,
+    total: float,
+    series: str = "E24",
+) -> Tuple[float, float]:
+    """Standard (top, bottom) resistor pair approximating a divider.
+
+    Searches value pairs near the ideal split for the pair whose
+    ``bottom / (top + bottom)`` is closest to ``ratio`` while keeping the
+    end-to-end resistance within a factor ~2 of ``total`` (the impedance
+    class matters more loosely than the ratio).
+
+    Args:
+        ratio: target division ratio in (0, 1).
+        total: target end-to-end resistance.
+        series: E-series to draw from.
+
+    Returns:
+        (top_value, bottom_value).
+    """
+    if not 0.0 < ratio < 1.0:
+        raise ModelParameterError(f"ratio must be in (0, 1), got {ratio!r}")
+    if total <= 0.0:
+        raise ModelParameterError(f"total must be positive, got {total!r}")
+    mantissas = series_values(series)
+    ideal_bottom = ratio * total
+    ideal_top = total - ideal_bottom
+
+    def candidates(ideal: float) -> List[float]:
+        exponent = math.floor(math.log10(ideal))
+        out = []
+        for exp in (exponent - 1, exponent, exponent + 1):
+            out.extend(m * 10.0**exp for m in mantissas)
+        return out
+
+    best_pair = None
+    best_cost = float("inf")
+    for top in candidates(ideal_top):
+        for bottom in candidates(ideal_bottom):
+            achieved = bottom / (top + bottom)
+            ratio_error = abs(achieved - ratio) / ratio
+            impedance_error = abs(math.log((top + bottom) / total))
+            cost = ratio_error + 0.05 * impedance_error
+            if cost < best_cost:
+                best_cost = cost
+                best_pair = (top, bottom)
+    return best_pair

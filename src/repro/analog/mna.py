@@ -1,0 +1,316 @@
+"""Modified nodal analysis (MNA) DC solver.
+
+A compact circuit solver for the resistive operating-point problems that
+come up in the MPPT front-end: divider ratios under buffer-bias loading,
+the PV cell's sampled voltage through the analog switch, cold-start
+threshold networks.  Supports resistors, independent current and voltage
+sources, and two-terminal nonlinear current elements (the PV cell),
+solved by damped Newton iteration on the MNA equations.
+
+Nodes are referred to by name; ``"0"`` and ``"gnd"`` are the reference.
+
+Example::
+
+    c = Circuit()
+    c.add_resistor("a", "b", 1e6)
+    c.add_voltage_source("a", "0", 5.0)
+    c.add_resistor("b", "0", 1e6)
+    v = c.solve_dc()
+    v["b"]  # 2.5
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ModelParameterError
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+@dataclass(frozen=True)
+class _Resistor:
+    node_a: str
+    node_b: str
+    ohms: float
+
+
+@dataclass(frozen=True)
+class _CurrentSource:
+    node_from: str
+    node_to: str
+    amps: float
+
+
+@dataclass(frozen=True)
+class _VoltageSource:
+    node_plus: str
+    node_minus: str
+    volts: float
+    name: str
+
+
+@dataclass(frozen=True)
+class _Nonlinear:
+    """Two-terminal element: current ``i(v)`` flows from node_plus to
+    node_minus *through the element* when ``v = v(node_plus) - v(node_minus)``.
+
+    For a PV cell wired to deliver current into node_plus, use
+    ``orientation=-1`` (the cell pushes current out of its positive
+    terminal).
+    """
+
+    node_plus: str
+    node_minus: str
+    current: Callable[[float], float]
+    conductance: Callable[[float], float]
+    orientation: int = 1
+
+
+class DCSolution(Mapping[str, float]):
+    """Solved DC operating point: node voltages and voltage-source currents."""
+
+    def __init__(self, voltages: Dict[str, float], source_currents: Dict[str, float]):
+        self._voltages = dict(voltages)
+        self._source_currents = dict(source_currents)
+
+    def __getitem__(self, node: str) -> float:
+        if node in GROUND_NAMES:
+            return 0.0
+        return self._voltages[node]
+
+    def __iter__(self):
+        return iter(self._voltages)
+
+    def __len__(self) -> int:
+        return len(self._voltages)
+
+    def source_current(self, name: str) -> float:
+        """Current (amps) delivered by the named voltage source."""
+        return self._source_currents[name]
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{node}={volts:.6g}V" for node, volts in sorted(self._voltages.items()))
+        return f"DCSolution({parts})"
+
+
+class Circuit:
+    """A small DC circuit assembled element by element, solved by MNA."""
+
+    def __init__(self) -> None:
+        self._resistors: List[_Resistor] = []
+        self._current_sources: List[_CurrentSource] = []
+        self._voltage_sources: List[_VoltageSource] = []
+        self._nonlinears: List[_Nonlinear] = []
+        self._nodes: Dict[str, int] = {}
+
+    # --- construction ----------------------------------------------------------
+
+    def _node_index(self, name: str) -> int:
+        """Index of a non-ground node, creating it on first use; -1 for ground."""
+        if name in GROUND_NAMES:
+            return -1
+        if name not in self._nodes:
+            self._nodes[name] = len(self._nodes)
+        return self._nodes[name]
+
+    def add_resistor(self, node_a: str, node_b: str, ohms: float) -> None:
+        """Add a resistor between two nodes."""
+        if not ohms > 0.0:
+            raise ModelParameterError(f"resistance must be positive, got {ohms!r}")
+        self._node_index(node_a)
+        self._node_index(node_b)
+        self._resistors.append(_Resistor(node_a, node_b, ohms))
+
+    def add_current_source(self, node_from: str, node_to: str, amps: float) -> None:
+        """Add an ideal current source pushing ``amps`` from node_from to node_to."""
+        self._node_index(node_from)
+        self._node_index(node_to)
+        self._current_sources.append(_CurrentSource(node_from, node_to, amps))
+
+    def add_voltage_source(self, node_plus: str, node_minus: str, volts: float, name: str | None = None) -> None:
+        """Add an ideal voltage source; its current becomes an MNA unknown."""
+        self._node_index(node_plus)
+        self._node_index(node_minus)
+        label = name if name is not None else f"V{len(self._voltage_sources)}"
+        if any(vs.name == label for vs in self._voltage_sources):
+            raise ModelParameterError(f"duplicate voltage source name {label!r}")
+        self._voltage_sources.append(_VoltageSource(node_plus, node_minus, volts, label))
+
+    def add_nonlinear(
+        self,
+        node_plus: str,
+        node_minus: str,
+        current: Callable[[float], float],
+        conductance: Callable[[float], float],
+        source: bool = False,
+    ) -> None:
+        """Add a two-terminal nonlinear element defined by ``i(v)`` and ``di/dv``.
+
+        With ``source=False`` the element *sinks* ``i(v)`` from node_plus
+        to node_minus (diode convention).  With ``source=True`` it
+        *delivers* ``i(v)`` into node_plus (PV cell convention: ``i(v)``
+        is the cell's output current at terminal voltage ``v``).
+        """
+        self._node_index(node_plus)
+        self._node_index(node_minus)
+        self._nonlinears.append(
+            _Nonlinear(node_plus, node_minus, current, conductance, orientation=-1 if source else 1)
+        )
+
+    def add_pv_cell(self, node_plus: str, node_minus: str, model) -> None:
+        """Wire a :class:`~repro.pv.single_diode.SingleDiodeModel` between nodes.
+
+        The cell delivers its terminal current into ``node_plus``.  A
+        centred finite difference supplies the Newton conductance; the
+        curve is smooth so this is accurate and keeps the solver
+        independent of the model internals.
+        """
+
+        def current(v: float) -> float:
+            return float(model.current_at(v))
+
+        def conductance(v: float) -> float:
+            h = 1e-6 * max(1.0, abs(v))
+            return float((model.current_at(v + h) - model.current_at(v - h)) / (2.0 * h))
+
+        self.add_nonlinear(node_plus, node_minus, current, conductance, source=True)
+
+    # --- solving ----------------------------------------------------------------
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """All non-ground node names, in creation order."""
+        return tuple(sorted(self._nodes, key=self._nodes.get))
+
+    def _assemble_linear(self) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(self._nodes)
+        m = len(self._voltage_sources)
+        a = np.zeros((n + m, n + m))
+        z = np.zeros(n + m)
+
+        for r in self._resistors:
+            g = 1.0 / r.ohms
+            ia, ib = self._nodes.get(r.node_a, -1), self._nodes.get(r.node_b, -1)
+            ia = -1 if r.node_a in GROUND_NAMES else ia
+            ib = -1 if r.node_b in GROUND_NAMES else ib
+            if ia >= 0:
+                a[ia, ia] += g
+            if ib >= 0:
+                a[ib, ib] += g
+            if ia >= 0 and ib >= 0:
+                a[ia, ib] -= g
+                a[ib, ia] -= g
+
+        for s in self._current_sources:
+            i_from = -1 if s.node_from in GROUND_NAMES else self._nodes[s.node_from]
+            i_to = -1 if s.node_to in GROUND_NAMES else self._nodes[s.node_to]
+            if i_from >= 0:
+                z[i_from] -= s.amps
+            if i_to >= 0:
+                z[i_to] += s.amps
+
+        for k, vs in enumerate(self._voltage_sources):
+            row = n + k
+            ip = -1 if vs.node_plus in GROUND_NAMES else self._nodes[vs.node_plus]
+            im = -1 if vs.node_minus in GROUND_NAMES else self._nodes[vs.node_minus]
+            if ip >= 0:
+                a[row, ip] = 1.0
+                a[ip, row] = 1.0
+            if im >= 0:
+                a[row, im] = -1.0
+                a[im, row] = -1.0
+            z[row] = vs.volts
+
+        return a, z
+
+    def solve_dc(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-12,
+        initial_guess: Mapping[str, float] | None = None,
+    ) -> DCSolution:
+        """Solve the DC operating point.
+
+        Linear circuits solve in one step; nonlinear elements trigger a
+        damped Newton iteration.
+
+        Raises:
+            ConvergenceError: if Newton fails to converge.
+            ModelParameterError: if the circuit is empty or singular.
+        """
+        n = len(self._nodes)
+        if n == 0:
+            raise ModelParameterError("circuit has no nodes")
+        m = len(self._voltage_sources)
+        a0, z0 = self._assemble_linear()
+
+        x = np.zeros(n + m)
+        if initial_guess:
+            for node, volts in initial_guess.items():
+                if node not in GROUND_NAMES and node in self._nodes:
+                    x[self._nodes[node]] = volts
+
+        if not self._nonlinears:
+            try:
+                x = np.linalg.solve(a0, z0)
+            except np.linalg.LinAlgError as exc:
+                raise ModelParameterError(f"singular circuit matrix: {exc}") from exc
+            return self._package(x)
+
+        def node_voltage(vector: np.ndarray, name: str) -> float:
+            return 0.0 if name in GROUND_NAMES else vector[self._nodes[name]]
+
+        for iteration in range(max_iterations):
+            a = a0.copy()
+            z = z0.copy()
+            for nl in self._nonlinears:
+                vp = node_voltage(x, nl.node_plus)
+                vm = node_voltage(x, nl.node_minus)
+                v = vp - vm
+                i_val = nl.orientation * nl.current(v)
+                g_val = nl.orientation * nl.conductance(v)
+                # Companion model: i(v) ~ i0 + g*(v - v0) -> conductance g
+                # in parallel with current source (i0 - g*v0).
+                ieq = i_val - g_val * v
+                ip = -1 if nl.node_plus in GROUND_NAMES else self._nodes[nl.node_plus]
+                im = -1 if nl.node_minus in GROUND_NAMES else self._nodes[nl.node_minus]
+                if ip >= 0:
+                    a[ip, ip] += g_val
+                    z[ip] -= ieq
+                if im >= 0:
+                    a[im, im] += g_val
+                    z[im] += ieq
+                if ip >= 0 and im >= 0:
+                    a[ip, im] -= g_val
+                    a[im, ip] -= g_val
+
+            try:
+                x_new = np.linalg.solve(a, z)
+            except np.linalg.LinAlgError as exc:
+                raise ModelParameterError(f"singular circuit matrix: {exc}") from exc
+
+            step = x_new - x
+            # Damp big voltage steps to keep exponential elements stable.
+            max_step = float(np.max(np.abs(step[:n]))) if n else 0.0
+            if max_step > 1.0:
+                x = x + step * (1.0 / max_step)
+            else:
+                x = x_new
+            if max_step <= tolerance:
+                return self._package(x)
+
+        raise ConvergenceError(
+            f"MNA Newton failed to converge after {max_iterations} iterations",
+            iterations=max_iterations,
+            residual=max_step,
+        )
+
+    def _package(self, x: np.ndarray) -> DCSolution:
+        n = len(self._nodes)
+        voltages = {name: float(x[index]) for name, index in self._nodes.items()}
+        currents = {vs.name: float(x[n + k]) for k, vs in enumerate(self._voltage_sources)}
+        return DCSolution(voltages, currents)

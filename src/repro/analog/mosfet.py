@@ -1,0 +1,121 @@
+"""MOSFET switch model.
+
+The platform (Fig. 3) uses MOSFETs as load-disconnect switches (M1-M5)
+and as the converter-inhibit pulldown (M8).  The paper stresses that the
+parts were "selected for their low on-resistance for relatively small
+gate voltages" and that with "only one low on-resistance MOSFET in the
+line between the PV cell and the switching converter ... there is a
+negligible impact on the overall efficiency".  The model is a
+threshold-gated triode-region resistance with off-state leakage — the
+terms that matter for conduction loss and droop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class MosfetSpec:
+    """Datasheet-level MOSFET switch description.
+
+    Attributes:
+        name: part designation.
+        threshold: gate-source threshold voltage magnitude, volts.
+        on_resistance: fully-enhanced channel resistance, ohms.
+        full_enhancement_vgs: |Vgs| at which on_resistance is reached.
+        off_leakage: drain-source leakage when off, amps.
+        gate_charge: total gate charge, coulombs — costs energy per
+            switching event.
+        p_channel: True for a PFET (thresholds interpreted as magnitudes).
+    """
+
+    name: str
+    threshold: float
+    on_resistance: float
+    full_enhancement_vgs: float = 2.5
+    off_leakage: float = 1e-9
+    gate_charge: float = 1e-9
+    p_channel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0.0:
+            raise ModelParameterError(f"threshold must be positive, got {self.threshold!r}")
+        if self.on_resistance <= 0.0:
+            raise ModelParameterError(f"on_resistance must be positive, got {self.on_resistance!r}")
+        if self.full_enhancement_vgs <= self.threshold:
+            raise ModelParameterError(
+                "full_enhancement_vgs must exceed threshold "
+                f"({self.full_enhancement_vgs!r} <= {self.threshold!r})"
+            )
+
+
+LOW_THRESHOLD_NFET = MosfetSpec(
+    name="low-vth-nfet",
+    threshold=0.65,
+    on_resistance=1.2,
+    full_enhancement_vgs=2.2,
+    off_leakage=5e-10,
+    gate_charge=1.2e-9,
+)
+"""A small logic-level NFET of the class used for M1-M5/M8."""
+
+LOW_THRESHOLD_PFET = MosfetSpec(
+    name="low-vth-pfet",
+    threshold=0.75,
+    on_resistance=2.0,
+    full_enhancement_vgs=2.5,
+    off_leakage=5e-10,
+    gate_charge=1.5e-9,
+    p_channel=True,
+)
+"""A complementary PFET for high-side disconnect duty."""
+
+
+@dataclass
+class MosfetSwitch:
+    """A MOSFET operated as a switch.
+
+    Args:
+        spec: datasheet parameters.
+    """
+
+    spec: MosfetSpec = field(default_factory=lambda: LOW_THRESHOLD_NFET)
+
+    def channel_resistance(self, vgs: float) -> float:
+        """Channel resistance (ohms) at a gate drive |Vgs|.
+
+        Below threshold the channel is open (returns ``inf``); between
+        threshold and full enhancement the resistance interpolates as
+        ``Ron / (overdrive fraction)``, the standard triode-region
+        scaling; beyond full enhancement it is ``Ron``.
+        """
+        drive = abs(vgs)
+        if drive <= self.spec.threshold:
+            return float("inf")
+        full_overdrive = self.spec.full_enhancement_vgs - self.spec.threshold
+        fraction = min(1.0, (drive - self.spec.threshold) / full_overdrive)
+        return self.spec.on_resistance / fraction
+
+    def is_on(self, vgs: float) -> bool:
+        """Whether the switch conducts at gate drive |Vgs|."""
+        return abs(vgs) > self.spec.threshold
+
+    def conduction_loss(self, current: float, vgs: float) -> float:
+        """I^2*R loss (watts) carrying ``current`` at gate drive |Vgs|.
+
+        Returns ``inf`` if the device is off but asked to carry current —
+        a configuration error the caller should treat as such.
+        """
+        r = self.channel_resistance(vgs)
+        return current * current * r
+
+    def off_state_leakage(self) -> float:
+        """Drain-source leakage when off, amps."""
+        return self.spec.off_leakage
+
+    def switching_energy(self, gate_voltage: float) -> float:
+        """Gate-drive energy (joules) for one on/off cycle at ``gate_voltage``."""
+        return self.spec.gate_charge * abs(gate_voltage)

@@ -1,0 +1,120 @@
+"""Micropower op-amp / unity-gain buffer model.
+
+The S&H uses two unity-gain buffers: U2 isolates the divider tap from
+the sampling switch, U4 isolates the hold capacitor from the converter's
+reference input.  Their *input bias current* is a first-order term in
+the droop budget (it discharges the hold cap for the whole 69-second
+hold), and their quiescent currents dominate the 7.6 uA system budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class OpAmpSpec:
+    """Datasheet-level op-amp description.
+
+    Attributes:
+        name: part designation.
+        quiescent_current: supply current, amps.
+        input_bias_current: input bias current, amps (CMOS parts: pA).
+        input_offset: input offset voltage, volts.
+        slew_rate: output slew rate, volts/second.
+        output_resistance: closed-loop output resistance, ohms.
+        min_supply: minimum operating supply, volts.
+    """
+
+    name: str
+    quiescent_current: float
+    input_bias_current: float = 1e-12
+    input_offset: float = 0.0
+    slew_rate: float = 2e4
+    output_resistance: float = 2000.0
+    min_supply: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.quiescent_current < 0.0:
+            raise ModelParameterError(f"quiescent_current must be >= 0, got {self.quiescent_current!r}")
+        if self.slew_rate <= 0.0:
+            raise ModelParameterError(f"slew_rate must be positive, got {self.slew_rate!r}")
+        if self.output_resistance < 0.0:
+            raise ModelParameterError(f"output_resistance must be >= 0, got {self.output_resistance!r}")
+
+
+MICROPOWER_BUFFER = OpAmpSpec(
+    name="micropower-cmos-buffer",
+    quiescent_current=3.4e-6,
+    input_bias_current=2e-12,
+    input_offset=1.5e-3,
+    slew_rate=2.5e4,
+    output_resistance=1500.0,
+    min_supply=1.8,
+)
+"""A CMOS micropower rail-to-rail op-amp of the class used in the prototype."""
+
+
+@dataclass
+class UnityGainBuffer:
+    """A voltage follower with offset, slew limiting, and bias current.
+
+    The buffer's output tracks its input exactly (plus offset) in steady
+    state; :meth:`step` advances the output with slew limiting for
+    transient simulation.
+
+    Args:
+        spec: datasheet parameters.
+        supply: supply rail, volts — output clamps to [0, supply].
+    """
+
+    spec: OpAmpSpec = field(default_factory=lambda: MICROPOWER_BUFFER)
+    supply: float = 3.3
+    _output: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.supply <= 0.0:
+            raise ModelParameterError(f"supply must be positive, got {self.supply!r}")
+
+    @property
+    def output(self) -> float:
+        """Current output voltage."""
+        return self._output
+
+    @property
+    def alive(self) -> bool:
+        """Whether the supply is above the part's minimum operating voltage."""
+        return self.supply >= self.spec.min_supply
+
+    def settle(self, v_in: float) -> float:
+        """Snap the output to its steady-state value for input ``v_in``."""
+        if not self.alive:
+            self._output = 0.0
+            return self._output
+        self._output = min(self.supply, max(0.0, v_in + self.spec.input_offset))
+        return self._output
+
+    def step(self, v_in: float, dt: float) -> float:
+        """Advance the output by ``dt`` seconds toward ``v_in`` with slew limiting."""
+        if dt < 0.0:
+            raise ModelParameterError(f"dt must be >= 0, got {dt!r}")
+        if not self.alive:
+            self._output = 0.0
+            return self._output
+        target = min(self.supply, max(0.0, v_in + self.spec.input_offset))
+        max_delta = self.spec.slew_rate * dt
+        delta = target - self._output
+        if abs(delta) > max_delta:
+            delta = max_delta if delta > 0.0 else -max_delta
+        self._output += delta
+        return self._output
+
+    def supply_current(self) -> float:
+        """Instantaneous supply current, amps (zero if below min supply)."""
+        return self.spec.quiescent_current if self.alive else 0.0
+
+    def bias_current(self) -> float:
+        """Input bias current, amps — the hold-cap discharge term."""
+        return self.spec.input_bias_current if self.alive else 0.0

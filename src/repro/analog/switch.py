@@ -1,0 +1,107 @@
+"""Analog (transmission-gate) switch model.
+
+The sampling element of the S&H: when PULSE is high, the switch connects
+the divider tap to the hold capacitor.  Its on-resistance (with the
+divider's output resistance) sets the settling time that the 39 ms pulse
+must cover; its *charge injection* kicks the held voltage at switch-off
+(part of the small ripple visible in Fig. 4); its off-leakage joins the
+droop budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class AnalogSwitchSpec:
+    """Datasheet-level analog switch description.
+
+    Attributes:
+        name: part designation.
+        on_resistance: closed-channel resistance, ohms.
+        charge_injection: charge kicked into the signal path at
+            switch-off, coulombs.
+        off_leakage: channel leakage when open, amps.
+        quiescent_current: supply current of the switch's logic, amps.
+        turn_on_time: control-to-closed delay, seconds.
+    """
+
+    name: str
+    on_resistance: float
+    charge_injection: float = 1e-12
+    off_leakage: float = 1e-12
+    quiescent_current: float = 1e-8
+    turn_on_time: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.on_resistance <= 0.0:
+            raise ModelParameterError(f"on_resistance must be positive, got {self.on_resistance!r}")
+        if self.off_leakage < 0.0 or self.quiescent_current < 0.0:
+            raise ModelParameterError("leakage and quiescent currents must be >= 0")
+
+
+MICROPOWER_ANALOG_SWITCH = AnalogSwitchSpec(
+    name="micropower-cmos-switch",
+    on_resistance=120.0,
+    charge_injection=2e-12,
+    off_leakage=1e-12,
+    quiescent_current=1e-8,
+    turn_on_time=1e-7,
+)
+"""A small CMOS transmission gate of the class used in the prototype."""
+
+
+@dataclass
+class AnalogSwitch:
+    """An analog switch instance with open/closed state.
+
+    Args:
+        spec: datasheet parameters.
+    """
+
+    spec: AnalogSwitchSpec = field(default_factory=lambda: MICROPOWER_ANALOG_SWITCH)
+    _closed: bool = field(default=False, repr=False)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the channel currently conducts."""
+        return self._closed
+
+    @property
+    def resistance(self) -> float:
+        """Channel resistance, ohms (``inf`` when open)."""
+        return self.spec.on_resistance if self._closed else float("inf")
+
+    def close(self) -> None:
+        """Close the switch (PULSE asserted)."""
+        self._closed = True
+
+    def open(self, hold_capacitance: float | None = None) -> float:
+        """Open the switch; returns the charge-injection voltage kick.
+
+        Args:
+            hold_capacitance: capacitance on the signal side, farads.
+                If given, the returned value is the voltage step
+                ``Q_inj / C_hold`` the hold node suffers; otherwise 0.
+
+        Returns:
+            The voltage perturbation (volts) injected onto the hold node.
+        """
+        was_closed = self._closed
+        self._closed = False
+        if not was_closed or hold_capacitance is None:
+            return 0.0
+        if hold_capacitance <= 0.0:
+            raise ModelParameterError(f"hold_capacitance must be positive, got {hold_capacitance!r}")
+        return self.spec.charge_injection / hold_capacitance
+
+    def leakage_current(self) -> float:
+        """Off-state channel leakage, amps (0 when closed — it's a short)."""
+        return 0.0 if self._closed else self.spec.off_leakage
+
+    def supply_current(self) -> float:
+        """Control-logic supply current, amps."""
+        return self.spec.quiescent_current

@@ -1,0 +1,131 @@
+"""Tracking-efficiency analysis.
+
+The other half of the Sec. II-B argument: a millivolt-scale error in the
+operating point costs almost nothing, because the power curve is flat at
+its top.  These helpers map voltage errors and fixed-ratio operation
+onto fractional power loss against the cell's real curves, and find the
+light level at which an MPPT technique's overhead stops paying for
+itself (the indoor/outdoor crossover the whole paper turns on).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.pv.cells import PVCell
+from repro.pv.irradiance import FLUORESCENT, LightSource
+from repro.units import T_STC
+
+
+def efficiency_loss_from_voc_error(
+    cell: PVCell,
+    voc_error: float,
+    lux: float,
+    k: float | None = None,
+    source: LightSource = FLUORESCENT,
+    temperature: float = T_STC,
+) -> float:
+    """Fractional MPP power lost to a Voc-estimate error.
+
+    The operating point moves from ``k*Voc`` to ``k*(Voc + error)``; the
+    loss is measured against the power at ``k*Voc`` so it isolates the
+    error term, exactly as the paper maps its Eq. (2) numbers onto the
+    Fig. 1 curve.  Symmetric errors can be probed with either sign.
+    """
+    from repro.pv.mpp import voc_error_to_efficiency_loss
+
+    return voc_error_to_efficiency_loss(
+        cell, voc_error, lux, k=k, source=source, temperature=temperature
+    )
+
+
+def tracking_efficiency_of_ratio(
+    cell: PVCell,
+    ratio: float,
+    lux: float,
+    source: LightSource = FLUORESCENT,
+    temperature: float = T_STC,
+) -> float:
+    """Power at a fixed ``v = ratio * Voc`` relative to the true MPP.
+
+    This is the steady-state tracking efficiency of an FOCV system with
+    trim ``ratio`` (the k-sweep ablation's y-axis).
+    """
+    if not 0.0 < ratio < 1.0:
+        raise ModelParameterError(f"ratio must be in (0, 1), got {ratio!r}")
+    mpp = cell.mpp(lux, source=source, temperature=temperature)
+    if mpp.power <= 0.0:
+        return 0.0
+    power = cell.power_at(ratio * mpp.voc, lux, source=source, temperature=temperature)
+    return power / mpp.power
+
+
+def crossover_lux(
+    cell: PVCell,
+    overhead_power: float,
+    tracking_efficiency: float = 1.0,
+    baseline_efficiency: float = 0.85,
+    lux_range: Sequence[float] = (10.0, 100000.0),
+    source: LightSource = FLUORESCENT,
+    temperature: float = T_STC,
+) -> float:
+    """The light level above which an MPPT technique beats no-MPPT.
+
+    Below the crossover, the technique's ``overhead_power`` exceeds what
+    its better tracking gains over a dumb baseline capturing
+    ``baseline_efficiency`` of the MPP; above it, tracking wins.  Solved
+    by bisection on net power difference.
+
+    Args:
+        cell: the PV cell.
+        overhead_power: the technique's own consumption, watts.
+        tracking_efficiency: the technique's tracking quality (0..1].
+        baseline_efficiency: what the no-MPPT alternative captures.
+        lux_range: bracketing interval.
+
+    Returns:
+        The crossover illuminance, lux; ``inf`` if the technique never
+        wins within the range, 0 if it always wins.
+    """
+    if overhead_power < 0.0:
+        raise ModelParameterError(f"overhead_power must be >= 0, got {overhead_power!r}")
+    if not 0.0 < tracking_efficiency <= 1.0:
+        raise ModelParameterError(
+            f"tracking_efficiency must be in (0, 1], got {tracking_efficiency!r}"
+        )
+
+    def net_gain(lux: float) -> float:
+        available = cell.mpp(lux, source=source, temperature=temperature).power
+        with_mppt = available * tracking_efficiency - overhead_power
+        without = available * baseline_efficiency
+        return with_mppt - without
+
+    lo, hi = lux_range
+    if net_gain(lo) > 0.0:
+        return 0.0
+    if net_gain(hi) < 0.0:
+        return float("inf")
+    for _ in range(80):
+        mid = (lo * hi) ** 0.5  # geometric bisection: lux spans decades
+        if net_gain(mid) > 0.0:
+            hi = mid
+        else:
+            lo = mid
+        if hi / lo < 1.0005:
+            break
+    return (lo * hi) ** 0.5
+
+
+def harvest_improvement(
+    with_mppt_energy: float,
+    without_mppt_energy: float,
+) -> float:
+    """Fractional improvement of one harvest total over another."""
+    if without_mppt_energy <= 0.0:
+        raise ModelParameterError(
+            f"without_mppt_energy must be positive, got {without_mppt_energy!r}"
+        )
+    return with_mppt_energy / without_mppt_energy - 1.0

@@ -1,0 +1,209 @@
+"""Component-tolerance Monte Carlo over the sample-and-hold chain.
+
+Table I's measured k spread (59.2–60.1 %) has two plausible sources:
+bench-instrument noise and real component variation.  This module
+samples the S&H accuracy chain over its component distributions —
+divider-resistor tolerance, buffer and comparator input offsets, switch
+charge-injection spread, hold-capacitor value — and produces the
+resulting distribution of the achieved ratio ``HELD / Voc``, i.e. the
+population statistics a production run of the paper's board would show.
+
+All sampling is seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analog.components import Capacitor, ResistiveDivider, Resistor
+from repro.analog.opamp import OpAmpSpec, UnityGainBuffer
+from repro.analog.switch import AnalogSwitch, AnalogSwitchSpec
+from repro.core.sample_hold import SampleHoldCircuit
+from repro.errors import ModelParameterError
+from repro.pv.cells import PVCell, am_1815
+
+
+@dataclass(frozen=True)
+class ToleranceSpec:
+    """Distribution widths for the varied components.
+
+    Attributes:
+        resistor_tolerance: 1-sigma fractional spread of each divider
+            resistor (datasheet tolerance / 3 for a trimmed-normal view).
+        offset_sigma_v: 1-sigma input offset of each buffer, volts.
+        charge_injection_sigma: fractional spread of switch injection.
+        capacitor_tolerance: fractional spread of the hold capacitor.
+    """
+
+    resistor_tolerance: float = 0.01 / 3.0
+    offset_sigma_v: float = 1.0e-3
+    charge_injection_sigma: float = 0.3
+    capacitor_tolerance: float = 0.05 / 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("resistor_tolerance", "offset_sigma_v", "charge_injection_sigma",
+                     "capacitor_tolerance"):
+            if getattr(self, name) < 0.0:
+                raise ModelParameterError(f"{name} must be >= 0")
+
+
+@dataclass
+class MonteCarloResult:
+    """Population statistics of the achieved sampling ratio.
+
+    Attributes:
+        ratios: achieved HELD/Voc per sampled board.
+        k_percent: the Table-I-style k (ratio / alpha) in percent.
+        nominal_ratio: the design ratio.
+    """
+
+    ratios: np.ndarray
+    k_percent: np.ndarray
+    nominal_ratio: float
+
+    @property
+    def mean_k(self) -> float:
+        """Mean k, percent."""
+        return float(np.mean(self.k_percent))
+
+    @property
+    def sigma_k(self) -> float:
+        """Standard deviation of k, percent."""
+        return float(np.std(self.k_percent))
+
+    def k_band(self, coverage: float = 0.99) -> tuple:
+        """(low, high) k percentiles covering ``coverage`` of boards."""
+        tail = (1.0 - coverage) / 2.0 * 100.0
+        return (
+            float(np.percentile(self.k_percent, tail)),
+            float(np.percentile(self.k_percent, 100.0 - tail)),
+        )
+
+    def yield_within(self, lo_percent: float, hi_percent: float) -> float:
+        """Fraction of boards whose k lands inside [lo, hi] percent."""
+        inside = (self.k_percent >= lo_percent) & (self.k_percent <= hi_percent)
+        return float(np.mean(inside))
+
+
+def run_sample_hold_montecarlo(
+    boards: int = 500,
+    cell: Optional[PVCell] = None,
+    lux: float = 1000.0,
+    nominal_ratio: float = 0.298,
+    total_resistance: float = 10e6,
+    alpha: float = 0.5,
+    pulse_width: float = 39e-3,
+    tolerances: ToleranceSpec = ToleranceSpec(),
+    seed: int = 20110314,
+) -> MonteCarloResult:
+    """Sample ``boards`` S&H builds and measure each one's ratio.
+
+    Each virtual board draws its divider resistors, buffer offsets,
+    switch injection and hold capacitor from the tolerance
+    distributions, performs a full sampling operation against the cell's
+    real curve (including loading), droops through half a hold period,
+    and reports HELD/Voc — the exact procedure behind a Table I column.
+
+    Args:
+        boards: number of Monte Carlo samples.
+        cell: device under test (AM-1815 default).
+        lux: test intensity.
+        nominal_ratio: design ``k * alpha``.
+        total_resistance: divider end-to-end resistance.
+        alpha: representation scaling (0.5 in the prototype).
+        pulse_width: PULSE width.
+        tolerances: distribution widths.
+        seed: RNG seed.
+    """
+    if boards < 1:
+        raise ModelParameterError(f"boards must be >= 1, got {boards!r}")
+    cell = cell if cell is not None else am_1815()
+    model = cell.model_at(lux)
+    voc = model.voc()
+    rng = np.random.default_rng(seed)
+
+    nominal_top = (1.0 - nominal_ratio) * total_resistance
+    nominal_bottom = nominal_ratio * total_resistance
+    base_buffer = UnityGainBuffer().spec
+    base_switch = AnalogSwitch().spec
+
+    ratios = np.empty(boards)
+    for i in range(boards):
+        top = nominal_top * (1.0 + tolerances.resistor_tolerance * rng.standard_normal())
+        bottom = nominal_bottom * (1.0 + tolerances.resistor_tolerance * rng.standard_normal())
+        u2_offset = tolerances.offset_sigma_v * rng.standard_normal()
+        u4_offset = tolerances.offset_sigma_v * rng.standard_normal()
+        injection = base_switch.charge_injection * max(
+            0.0, 1.0 + tolerances.charge_injection_sigma * rng.standard_normal()
+        )
+        hold_c = 1e-6 * (1.0 + tolerances.capacitor_tolerance * rng.standard_normal())
+
+        board = SampleHoldCircuit(
+            divider=ResistiveDivider(top=Resistor(top), bottom=Resistor(bottom)),
+            hold_capacitor=Capacitor(max(1e-8, hold_c)),
+            input_buffer=UnityGainBuffer(
+                spec=OpAmpSpec(
+                    name="u2-mc",
+                    quiescent_current=base_buffer.quiescent_current,
+                    input_bias_current=base_buffer.input_bias_current,
+                    input_offset=u2_offset,
+                    slew_rate=base_buffer.slew_rate,
+                    output_resistance=base_buffer.output_resistance,
+                )
+            ),
+            output_buffer=UnityGainBuffer(
+                spec=OpAmpSpec(
+                    name="u4-mc",
+                    quiescent_current=base_buffer.quiescent_current,
+                    input_bias_current=base_buffer.input_bias_current,
+                    input_offset=u4_offset,
+                    slew_rate=base_buffer.slew_rate,
+                    output_resistance=base_buffer.output_resistance,
+                )
+            ),
+            switch=AnalogSwitch(
+                spec=AnalogSwitchSpec(
+                    name="sw-mc",
+                    on_resistance=base_switch.on_resistance,
+                    charge_injection=injection,
+                    off_leakage=base_switch.off_leakage,
+                    quiescent_current=base_switch.quiescent_current,
+                )
+            ),
+        )
+        board.sample(model, pulse_width)
+        board.droop(34.5)  # mid-hold readout, as in the Table I bench
+        ratios[i] = board.held_sample / voc
+
+    return MonteCarloResult(
+        ratios=ratios,
+        k_percent=100.0 * ratios / alpha,
+        nominal_ratio=nominal_ratio,
+    )
+
+
+def render_montecarlo(result: MonteCarloResult, paper_band: tuple = (59.2, 60.1)) -> str:
+    """Printable summary comparing the population band with Table I's."""
+    from repro.analysis.reporting import format_table
+
+    lo99, hi99 = result.k_band(0.99)
+    lo68, hi68 = result.k_band(0.68)
+    rows = [
+        ["boards sampled", f"{len(result.ratios)}"],
+        ["nominal k", f"{100.0 * result.nominal_ratio / 0.5:.2f} %"],
+        ["mean k", f"{result.mean_k:.2f} %"],
+        ["sigma k", f"{result.sigma_k:.3f} pp"],
+        ["68 % band", f"{lo68:.2f} .. {hi68:.2f} %"],
+        ["99 % band", f"{lo99:.2f} .. {hi99:.2f} %"],
+        ["paper's Table I band", f"{paper_band[0]:.1f} .. {paper_band[1]:.1f} %"],
+        ["yield inside paper band", f"{result.yield_within(*paper_band) * 100:.1f} %"],
+    ]
+    return format_table(
+        ["statistic", "value"],
+        rows,
+        title="E11 — S&H component-tolerance Monte Carlo (k population)",
+        align_right=False,
+    )

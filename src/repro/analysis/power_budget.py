@@ -1,0 +1,109 @@
+"""Itemised current budgets.
+
+The paper's headline numbers — 7.6 uA for astable + S&H, ~8 uA for the
+whole metrology — are sums over parts.  :class:`PowerBudget` makes that
+sum inspectable line by line, so tests can pin each contribution and the
+benches can print the budget the way a designer would read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.config import PlatformConfig
+from repro.errors import ModelParameterError
+from repro.units import si_format
+
+
+@dataclass(frozen=True)
+class BudgetLine:
+    """One budget entry.
+
+    Attributes:
+        item: what draws the current.
+        current: average current, amps.
+        group: which subsystem it belongs to.
+    """
+
+    item: str
+    current: float
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        if self.current < 0.0:
+            raise ModelParameterError(f"current must be >= 0, got {self.current!r}")
+
+
+@dataclass
+class PowerBudget:
+    """A named collection of budget lines with group subtotals."""
+
+    title: str
+    supply: float = 3.3
+    lines: List[BudgetLine] = field(default_factory=list)
+
+    def add(self, item: str, current: float, group: str = "") -> None:
+        """Append one line."""
+        self.lines.append(BudgetLine(item=item, current=current, group=group))
+
+    def total_current(self, group: str | None = None) -> float:
+        """Total average current, amps (optionally one group's subtotal)."""
+        return sum(line.current for line in self.lines if group is None or line.group == group)
+
+    def total_power(self, group: str | None = None) -> float:
+        """Total average power at the budget's supply, watts."""
+        return self.total_current(group) * self.supply
+
+    def groups(self) -> List[str]:
+        """Group names in first-appearance order."""
+        seen: List[str] = []
+        for line in self.lines:
+            if line.group not in seen:
+                seen.append(line.group)
+        return seen
+
+    def render(self) -> str:
+        """Human-readable budget table."""
+        width = max([len(line.item) for line in self.lines] + [len(self.title), 24])
+        rows = [self.title, "=" * (width + 14)]
+        for group in self.groups():
+            members = [line for line in self.lines if line.group == group]
+            if group:
+                rows.append(f"[{group}]")
+            for line in members:
+                rows.append(f"  {line.item:<{width}} {si_format(line.current, 'A'):>10}")
+            if group:
+                rows.append(f"  {'subtotal':<{width}} {si_format(self.total_current(group), 'A'):>10}")
+        rows.append("-" * (width + 14))
+        rows.append(f"  {'TOTAL':<{width}} {si_format(self.total_current(), 'A'):>10}")
+        rows.append(
+            f"  {'(power at %.1f V)' % self.supply:<{width}} {si_format(self.total_power(), 'W'):>10}"
+        )
+        return "\n".join(rows)
+
+
+def proposed_platform_budget(config: PlatformConfig | None = None) -> PowerBudget:
+    """The proposed system's metrology budget, itemised from its parts.
+
+    Mirrors the paper's measurement: the astable + S&H group should sum
+    to ~7.6 uA, the full metrology (with U5's ACTIVE chain) to ~8 uA.
+    """
+    cfg = config if config is not None else PlatformConfig.paper_prototype()
+    budget = PowerBudget(title="Proposed S&H MPPT metrology budget", supply=cfg.supply)
+
+    astable = cfg.astable
+    budget.add("U1 comparator (astable)", astable.comparator.quiescent_current, group="astable")
+    budget.add("timing RC network", astable.timing_network_current(), group="astable")
+    budget.add("feedback divider", astable.feedback_divider_current(), group="astable")
+
+    sh = cfg.sample_hold
+    budget.add("U2 input buffer", sh.input_buffer.supply_current(), group="sample-hold")
+    budget.add("U4 output buffer", sh.output_buffer.supply_current(), group="sample-hold")
+    budget.add("analog switch logic", sh.switch.supply_current(), group="sample-hold")
+    # Divider current flows only while PULSE is high.
+    divider_avg = (cfg.supply / sh.divider.total_resistance) * astable.duty_cycle
+    budget.add("sampling divider (duty-weighted)", divider_avg, group="sample-hold")
+
+    budget.add("U5 ACTIVE comparator + divider", cfg.active.supply_current(), group="active-monitor")
+    return budget

@@ -1,0 +1,38 @@
+"""Baseline MPPT techniques the paper positions itself against.
+
+Each implements the :class:`~repro.sim.quasistatic.HarvestingController`
+protocol, so the E8 comparison runs them through the identical
+simulation loop as the proposed system:
+
+* :class:`IdealMPPT` — zero-cost oracle at the true MPP (upper bound).
+* :class:`HillClimbing` — perturb & observe [2][3]: accurate but needs a
+  microcontroller-class power budget.
+* :class:`PeriodicFOCV` — microcontroller FOCV sampling every 100 ms
+  (Simjee & Chou [4], ~2 mW overall consumption).
+* :class:`PilotCell` — a dedicated pilot solar cell provides the
+  reference (Brunelli et al. [5], ~300 uW when 'off', plus lost area).
+* :class:`PhotodiodeReference` — a photodetector proxy (Park & Chou's
+  AmbiMax [6], ~500 uA).
+* :class:`FixedVoltage` — operate at a constant voltage assumed near the
+  MPP (Weddell et al. [8]; the reference IC draws more than this
+  paper's whole S&H).
+* :class:`NoMPPT` — direct connection to the energy store [7].
+"""
+
+from repro.baselines.ideal import IdealMPPT
+from repro.baselines.hill_climbing import HillClimbing
+from repro.baselines.periodic_focv import PeriodicFOCV
+from repro.baselines.pilot_cell import PilotCell
+from repro.baselines.photodiode import PhotodiodeReference
+from repro.baselines.fixed_voltage import FixedVoltage
+from repro.baselines.no_mppt import NoMPPT
+
+__all__ = [
+    "IdealMPPT",
+    "HillClimbing",
+    "PeriodicFOCV",
+    "PilotCell",
+    "PhotodiodeReference",
+    "FixedVoltage",
+    "NoMPPT",
+]

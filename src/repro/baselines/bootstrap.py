@@ -1,0 +1,31 @@
+"""Bootstrap (supply-dead) behaviour shared by the baseline trackers.
+
+The cited systems ([4] Simjee & Chou, [5] Brunelli, [6] AmbiMax) all
+include some bootstrap path that charges the store directly from the PV
+module when the control electronics are unpowered — without one, a
+single dark night would brick them.  (The *elegance* of the paper's
+cold-start chain is that it needs no such extra path and wakes the full
+MPPT; the baselines here get the dumb version: a diode into the store.)
+"""
+
+from __future__ import annotations
+
+from repro.sim.quasistatic import ControlDecision, Observation
+
+BOOTSTRAP_DIODE_DROP = 0.25
+"""Forward drop of the bootstrap diode, volts."""
+
+
+def bootstrap_decision(obs: Observation) -> ControlDecision:
+    """Direct diode-coupled charging while the controller is unpowered.
+
+    The module dumps into the store at ``V_store + diode drop`` with no
+    control overhead; once the store recovers past the controller's
+    minimum supply, normal tracking resumes on the next step.
+    """
+    if obs.lux <= 0.0:
+        return ControlDecision(operating_voltage=None, harvest_duty=0.0, note="bootstrap-dark")
+    v_op = obs.storage_voltage + BOOTSTRAP_DIODE_DROP
+    if v_op >= obs.cell_model.voc():
+        return ControlDecision(operating_voltage=None, harvest_duty=0.0, note="bootstrap-idle")
+    return ControlDecision(operating_voltage=v_op, note="bootstrap")

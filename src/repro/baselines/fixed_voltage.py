@@ -1,0 +1,54 @@
+"""Fixed-voltage operation (Weddell et al., Eurosensors'08 [8]).
+
+The state of the art for *indoor* harvesting before this paper: operate
+the PV cell at a constant voltage from a reference IC, chosen to sit
+near the MPP for the expected (indoor) light level.  No tracking at all
+— the point is that the reference IC alone draws more current than the
+whole proposed S&H chain, and the fixed point goes badly wrong when the
+lighting leaves its design range (the mobile/body-worn scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.baselines.bootstrap import bootstrap_decision
+from repro.sim.quasistatic import ControlDecision, Observation
+
+
+@dataclass
+class FixedVoltage:
+    """Constant-voltage operation from a reference IC.
+
+    Attributes:
+        setpoint: the fixed PV operating voltage, volts (default: the
+            AM-1815's 200-lux MPP, the natural indoor design point).
+        reference_current: the reference IC's supply current, amps —
+            the paper notes its S&H draws *less* than this part alone.
+        min_supply: below this rail the reference cannot run, volts.
+    """
+
+    setpoint: float = 3.1
+    reference_current: float = 12e-6
+    min_supply: float = 1.8
+    name: str = "fixed-voltage"
+
+    def __post_init__(self) -> None:
+        if self.setpoint <= 0.0:
+            raise ModelParameterError(f"setpoint must be positive, got {self.setpoint!r}")
+        if self.reference_current < 0.0:
+            raise ModelParameterError(
+                f"reference_current must be >= 0, got {self.reference_current!r}"
+            )
+
+    def decide(self, obs: Observation) -> ControlDecision:
+        """Hold the fixed setpoint whenever the cell can reach it."""
+        if obs.supply_voltage < self.min_supply:
+            return bootstrap_decision(obs)
+        overhead = self.reference_current
+        if obs.lux <= 0.0 or self.setpoint >= obs.cell_model.voc():
+            return ControlDecision(
+                operating_voltage=None, harvest_duty=0.0, overhead_current=overhead
+            )
+        return ControlDecision(operating_voltage=self.setpoint, overhead_current=overhead)

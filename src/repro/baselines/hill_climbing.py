@@ -1,0 +1,86 @@
+"""Hill-climbing (perturb & observe) MPPT [2][3].
+
+The classic outdoor technique: continually nudge the operating point,
+keep going if power rose, reverse if it fell.  It converges to the true
+MPP without any model of the cell — but it "requires fine-grained
+control of the system, normally necessitating the use of a
+microcontroller" (paper Sec. I), whose supply current is fatal at indoor
+light levels.  The overhead model is a duty-cycled MCU + ADC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+from repro.baselines.bootstrap import bootstrap_decision
+from repro.sim.quasistatic import ControlDecision, Observation
+
+
+@dataclass
+class HillClimbing:
+    """Perturb & observe with a microcontroller power model.
+
+    Attributes:
+        step_voltage: perturbation size, volts.
+        update_period: time between perturbations, seconds.
+        mcu_active_current: MCU+ADC current while measuring/deciding, amps.
+        mcu_active_time: awake time per update, seconds.
+        mcu_sleep_current: sleep current between updates, amps.
+        min_supply: below this rail the MCU cannot run, volts.
+        initial_fraction: initial operating point as a fraction of Voc.
+    """
+
+    step_voltage: float = 0.05
+    update_period: float = 1.0
+    mcu_active_current: float = 2.2e-3
+    mcu_active_time: float = 0.15
+    mcu_sleep_current: float = 5e-6
+    min_supply: float = 1.8
+    initial_fraction: float = 0.7
+    name: str = "hill-climbing"
+
+    _v_op: float = field(default=0.0, repr=False)
+    _prev_power: float = field(default=0.0, repr=False)
+    _direction: float = field(default=-1.0, repr=False)
+    _next_update: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.step_voltage <= 0.0:
+            raise ModelParameterError(f"step_voltage must be positive, got {self.step_voltage!r}")
+        if self.update_period <= 0.0:
+            raise ModelParameterError(f"update_period must be positive, got {self.update_period!r}")
+        if not 0.0 < self.initial_fraction < 1.0:
+            raise ModelParameterError(
+                f"initial_fraction must be in (0, 1), got {self.initial_fraction!r}"
+            )
+
+    def average_overhead_current(self) -> float:
+        """Duty-cycled MCU current, amps."""
+        duty = min(1.0, self.mcu_active_time / self.update_period)
+        return self.mcu_active_current * duty + self.mcu_sleep_current * (1.0 - duty)
+
+    def decide(self, obs: Observation) -> ControlDecision:
+        """Measure power at the present point; perturb in the winning direction."""
+        overhead = self.average_overhead_current()
+        if obs.supply_voltage < self.min_supply:
+            # MCU brown-out: fall back to the bootstrap diode path.
+            return bootstrap_decision(obs)
+        if obs.lux <= 0.0:
+            return ControlDecision(
+                operating_voltage=None, harvest_duty=0.0, overhead_current=overhead
+            )
+
+        voc = obs.cell_model.voc()
+        if self._v_op <= 0.0 or self._v_op >= voc:
+            self._v_op = self.initial_fraction * voc
+
+        if obs.time >= self._next_update:
+            power = float(obs.cell_model.power_at(self._v_op))
+            if power < self._prev_power:
+                self._direction = -self._direction
+            self._prev_power = power
+            self._v_op = min(max(self._v_op + self._direction * self.step_voltage, 0.05), voc * 0.999)
+            self._next_update = obs.time + self.update_period
+
+        return ControlDecision(operating_voltage=self._v_op, overhead_current=overhead)

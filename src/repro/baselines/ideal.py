@@ -1,0 +1,28 @@
+"""Oracle MPPT: the upper bound every technique is measured against."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.quasistatic import ControlDecision, Observation
+
+
+@dataclass
+class IdealMPPT:
+    """A zero-overhead tracker that sits exactly on the MPP every step.
+
+    Physically unrealisable (it knows the curve without measuring it),
+    but it defines the ``energy_ideal`` denominator of every tracking-
+    efficiency figure.
+    """
+
+    name: str = "ideal-oracle"
+
+    def decide(self, obs: Observation) -> ControlDecision:
+        """Operate at the true MPP with no overhead and full duty."""
+        if obs.lux <= 0.0:
+            return ControlDecision(operating_voltage=None, harvest_duty=0.0)
+        mpp = obs.cell_model.mpp()
+        if mpp.power <= 0.0:
+            return ControlDecision(operating_voltage=None, harvest_duty=0.0)
+        return ControlDecision(operating_voltage=mpp.voltage)

@@ -1,0 +1,40 @@
+"""Direct connection: no MPPT at all (Wang et al. [7]).
+
+The module feeds the energy store through nothing but a diode; the cell
+operates wherever the store's voltage sits.  The paper calls this "a
+valid assumption for cases where the energy store voltage is always
+sufficiently close to the MPP voltage of the PV module" — and the E8
+comparison shows exactly when that assumption collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.sim.quasistatic import ControlDecision, Observation
+
+
+@dataclass
+class NoMPPT:
+    """Diode-coupled direct connection to the store.
+
+    Attributes:
+        diode_drop: series diode forward voltage, volts.
+    """
+
+    diode_drop: float = 0.25
+    name: str = "no-MPPT-direct"
+
+    def __post_init__(self) -> None:
+        if self.diode_drop < 0.0:
+            raise ModelParameterError(f"diode_drop must be >= 0, got {self.diode_drop!r}")
+
+    def decide(self, obs: Observation) -> ControlDecision:
+        """Operate at the store voltage plus the diode drop (if reachable)."""
+        if obs.lux <= 0.0:
+            return ControlDecision(operating_voltage=None, harvest_duty=0.0)
+        v_op = obs.storage_voltage + self.diode_drop
+        if v_op <= 0.0 or v_op >= obs.cell_model.voc():
+            return ControlDecision(operating_voltage=None, harvest_duty=0.0)
+        return ControlDecision(operating_voltage=v_op)

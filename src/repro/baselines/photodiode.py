@@ -1,0 +1,73 @@
+"""Photodiode-referenced MPPT (Park & Chou's AmbiMax [6]).
+
+A photodetector measures the light level directly and analog control
+maps it onto the converter reference — continuous tracking with no
+module disconnection, at the cost of a ~500 uA control-chain current.
+The light-to-Vmpp map is calibrated (here: exact at the calibration
+intensity, with a logarithmic-in-lux interpolation mirroring how such
+analog maps are trimmed), so its tracking is good but not oracle-exact
+away from calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+from repro.baselines.bootstrap import bootstrap_decision
+from repro.sim.quasistatic import ControlDecision, Observation
+
+
+@dataclass
+class PhotodiodeReference:
+    """Photodetector-driven analog MPPT with a calibrated lux->Vmpp map.
+
+    Attributes:
+        overhead_current: control-chain supply current, amps ([6]: ~500 uA).
+        calibration_lux: intensity at which the map is exact.
+        volts_per_decade: slope of the Vmpp-vs-log10(lux) map, volts.
+        min_supply: below this rail the control cannot run, volts.
+    """
+
+    overhead_current: float = 500e-6
+    calibration_lux: float = 1000.0
+    volts_per_decade: float = 0.05
+    min_supply: float = 1.5
+    name: str = "photodiode-ref"
+
+    _cal_vmpp: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.overhead_current < 0.0:
+            raise ModelParameterError(
+                f"overhead_current must be >= 0, got {self.overhead_current!r}"
+            )
+        if self.calibration_lux <= 0.0:
+            raise ModelParameterError(
+                f"calibration_lux must be positive, got {self.calibration_lux!r}"
+            )
+
+    def decide(self, obs: Observation) -> ControlDecision:
+        """Map measured lux onto a Vmpp estimate; track it continuously."""
+        if obs.supply_voltage < self.min_supply:
+            return bootstrap_decision(obs)
+        if obs.lux <= 0.0:
+            return ControlDecision(
+                operating_voltage=None, harvest_duty=0.0, overhead_current=self.overhead_current
+            )
+        import math
+
+        if self._cal_vmpp <= 0.0:
+            # One-time factory calibration at the reference intensity.
+            scale = self.calibration_lux / obs.lux
+            cal_model = obs.cell_model.with_photocurrent(obs.cell_model.photocurrent * scale)
+            self._cal_vmpp = cal_model.mpp().voltage
+
+        decades = math.log10(obs.lux / self.calibration_lux)
+        v_op = self._cal_vmpp + self.volts_per_decade * decades
+        v_op = min(v_op, obs.cell_model.voc() * 0.999)
+        if v_op <= 0.0:
+            return ControlDecision(
+                operating_voltage=None, harvest_duty=0.0, overhead_current=self.overhead_current
+            )
+        return ControlDecision(operating_voltage=v_op, overhead_current=self.overhead_current)

@@ -1,0 +1,71 @@
+"""Pilot-cell FOCV (Brunelli et al., DATE'08 [5]).
+
+A second, small 'pilot' PV cell is left permanently open-circuit; its
+terminal voltage, scaled by k, drives the converter reference directly.
+No sampling and no disconnection of the main module — but the pilot's
+area is lost to harvesting, and the reference/control electronics of the
+reported system consume ~300 uW even when 'off', which dwarfs an indoor
+cell's entire output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.baselines.bootstrap import bootstrap_decision
+from repro.sim.quasistatic import ControlDecision, Observation
+
+
+@dataclass
+class PilotCell:
+    """Pilot-cell tracker with area and quiescent-power costs.
+
+    The pilot is assumed to match the main cell's chemistry, so its Voc
+    equals the main cell's — giving this technique a *continuously
+    fresh* k*Voc reference (its accuracy advantage over any sampled
+    scheme).
+
+    Attributes:
+        k: fractional-Voc setpoint applied to the pilot's Voc.
+        pilot_area_fraction: fraction of total PV area given to the
+            pilot (lost to harvesting).
+        overhead_power: control-electronics consumption, watts
+            ([5]: ~300 uW when off).
+        min_supply: below this rail the control cannot run, volts.
+    """
+
+    k: float = 0.6
+    pilot_area_fraction: float = 0.1
+    overhead_power: float = 300e-6
+    min_supply: float = 1.5
+    name: str = "pilot-cell"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.k < 1.0:
+            raise ModelParameterError(f"k must be in (0, 1), got {self.k!r}")
+        if not 0.0 <= self.pilot_area_fraction < 1.0:
+            raise ModelParameterError(
+                f"pilot_area_fraction must be in [0, 1), got {self.pilot_area_fraction!r}"
+            )
+        if self.overhead_power < 0.0:
+            raise ModelParameterError(f"overhead_power must be >= 0, got {self.overhead_power!r}")
+
+    def decide(self, obs: Observation) -> ControlDecision:
+        """Track k * pilot-Voc continuously; pay area and power costs."""
+        if obs.supply_voltage < self.min_supply:
+            return bootstrap_decision(obs)
+        overhead = self.overhead_power / max(obs.supply_voltage, 1e-9)
+        if obs.lux <= 0.0:
+            return ControlDecision(
+                operating_voltage=None, harvest_duty=0.0, overhead_current=overhead
+            )
+        v_op = self.k * obs.cell_model.voc()
+        if v_op <= 0.0:
+            return ControlDecision(
+                operating_voltage=None, harvest_duty=0.0, overhead_current=overhead
+            )
+        # The pilot's area produces nothing: model as a duty derating of
+        # the main module (power scales linearly with active area).
+        duty = 1.0 - self.pilot_area_fraction
+        return ControlDecision(operating_voltage=v_op, harvest_duty=duty, overhead_current=overhead)

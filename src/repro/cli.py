@@ -1,0 +1,182 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro table1               # Table I
+    python -m repro fig4 [--lux 1000]    # the sampling transient
+    python -m repro budget               # the 7.6 uA itemised budget
+    python -m repro design               # synthesise a platform for the AM-1815
+    python -m repro montecarlo           # E11 tolerance run
+    python -m repro spectra              # E13 environment diversity
+    python -m repro coldstart [--lux 200]
+    python -m repro sec2b
+    python -m repro comparison [--hours 24]   # E8 (slow)
+    python -m repro endurance                 # E12 (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _cmd_table1(args) -> str:
+    from repro.experiments import table1
+
+    return table1.render(table1.run_table1())
+
+
+def _cmd_fig1(args) -> str:
+    from repro.experiments import fig1
+
+    return fig1.render(fig1.run_iv_curves())
+
+
+def _cmd_fig2(args) -> str:
+    from repro.experiments import fig2
+
+    desk = fig2.run_log("desk", dt=10.0)
+    mobile = fig2.run_log("semi-mobile", dt=10.0)
+    return fig2.render(desk) + "\n\n" + fig2.render(mobile)
+
+
+def _cmd_fig4(args) -> str:
+    from repro.experiments import fig4
+
+    return fig4.render(fig4.run_sampling_transient(lux=args.lux))
+
+
+def _cmd_sec2b(args) -> str:
+    from repro.experiments import sec2b
+
+    desk, mobile = sec2b.run_paper_points(dt=10.0)
+    return sec2b.render([desk, mobile])
+
+
+def _cmd_budget(args) -> str:
+    from repro.experiments import sec4a
+
+    return sec4a.render(sec4a.run_power_measurement())
+
+
+def _cmd_coldstart(args) -> str:
+    from repro.experiments import sec4b
+
+    result = sec4b.run_cold_start(args.lux, dt=5e-4, timeout=90.0)
+    return sec4b.render([result])
+
+
+def _cmd_design(args) -> str:
+    from repro.core.design import synthesise_platform
+    from repro.pv.cells import am_1815
+
+    return synthesise_platform(am_1815()).render()
+
+
+def _cmd_montecarlo(args) -> str:
+    from repro.analysis.montecarlo import render_montecarlo, run_sample_hold_montecarlo
+
+    return render_montecarlo(run_sample_hold_montecarlo(boards=args.boards))
+
+
+def _cmd_spectra(args) -> str:
+    from repro.experiments import spectra
+
+    return spectra.render(spectra.run_spectra())
+
+
+def _cmd_comparison(args) -> str:
+    from repro.experiments import comparison
+
+    results = comparison.run_comparison(duration=args.hours * 3600.0, dt=10.0)
+    return comparison.render_quiescent() + "\n\n" + comparison.render(results)
+
+
+def _cmd_endurance(args) -> str:
+    from repro.experiments import endurance
+
+    return endurance.render(endurance.run_week(dt=20.0))
+
+
+def _cmd_aging(args) -> str:
+    from repro.experiments import aging
+
+    indoor = aging.run_aging(lux=500.0)
+    bright = aging.run_aging(lux=5000.0, rs_growth_per_year=0.08)
+    return aging.render(indoor, lux=500.0) + "\n\n" + aging.render(bright, lux=5000.0)
+
+
+def _cmd_envelope(args) -> str:
+    from repro.experiments import envelope
+
+    return envelope.render(envelope.run_envelope())
+
+
+def _cmd_teg(args) -> str:
+    from repro.experiments import teg
+
+    return teg.render(teg.run_teg_sweep())
+
+
+COMMANDS: Dict[str, Callable] = {
+    "table1": _cmd_table1,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig4": _cmd_fig4,
+    "sec2b": _cmd_sec2b,
+    "budget": _cmd_budget,
+    "coldstart": _cmd_coldstart,
+    "design": _cmd_design,
+    "montecarlo": _cmd_montecarlo,
+    "spectra": _cmd_spectra,
+    "comparison": _cmd_comparison,
+    "endurance": _cmd_endurance,
+    "teg": _cmd_teg,
+    "aging": _cmd_aging,
+    "envelope": _cmd_envelope,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts from Weddell et al., DATE 2011.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available artefacts")
+    for name in COMMANDS:
+        p = sub.add_parser(name, help=f"regenerate '{name}'")
+        if name in ("fig4", "coldstart"):
+            p.add_argument("--lux", type=float, default=1000.0 if name == "fig4" else 200.0)
+        if name == "comparison":
+            p.add_argument("--hours", type=float, default=24.0)
+        if name == "montecarlo":
+            p.add_argument("--boards", type=int, default=500)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command is None or args.command == "list":
+            print("available artefacts:")
+            for name in sorted(COMMANDS):
+                print(f"  {name}")
+            return 0
+        print(COMMANDS[args.command](args))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Switching-converter substrate.
+
+The paper's platform hands the PV cell to "a modified buck-boost
+converter ... based on the circuit presented in [8]" that regulates its
+*input* voltage to the value on HELD_SAMPLE.  The converter design is
+explicitly not the paper's focus, so the model here is an averaged one:
+a hysteretic input-voltage regulator with a physically-shaped efficiency
+curve (fixed losses + conduction losses), which is all the MPPT analysis
+needs.
+"""
+
+from repro.converter.efficiency import ConverterLossModel
+from repro.converter.buck_boost import BuckBoostConverter
+
+__all__ = ["ConverterLossModel", "BuckBoostConverter"]

@@ -1,0 +1,103 @@
+"""Averaged buck-boost converter with hysteretic input-voltage regulation.
+
+Models the "[8]-style modified buck-boost" of the paper's Fig. 3 at the
+level the MPPT analysis needs:
+
+* **Input regulation** — the converter draws whatever current holds its
+  input (the PV node, buffered by C2) at the reference derived from
+  HELD_SAMPLE.  In the quasi-static engine that collapses to "the PV
+  cell operates at v_ref"; in the transient engine the hysteretic
+  behaviour (run when v_in > ref + h/2, idle when below ref - h/2)
+  produces the input ripple seen around sampling events.
+* **Transfer efficiency** — via :class:`~repro.converter.efficiency.ConverterLossModel`.
+* **Gating** — the converter only runs when enabled (ACTIVE high and not
+  inhibited by M8 during sampling) and when its input exceeds a minimum
+  operating voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.converter.efficiency import ConverterLossModel
+from repro.errors import ModelParameterError
+
+
+@dataclass
+class BuckBoostConverter:
+    """Averaged input-regulated buck-boost converter.
+
+    Attributes:
+        losses: the loss model shaping the efficiency curve.
+        min_input_voltage: below this input the converter cannot run, volts.
+        hysteresis: input-regulation band width, volts (transient model).
+        max_input_current: converter current limit, amps.
+        enabled: gate from ACTIVE / M8 logic (state).
+    """
+
+    losses: ConverterLossModel = field(default_factory=ConverterLossModel)
+    min_input_voltage: float = 0.8
+    hysteresis: float = 0.05
+    max_input_current: float = 2e-3
+    enabled: bool = True
+    _running: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_input_voltage <= 0.0:
+            raise ModelParameterError(
+                f"min_input_voltage must be positive, got {self.min_input_voltage!r}"
+            )
+        if self.hysteresis < 0.0:
+            raise ModelParameterError(f"hysteresis must be >= 0, got {self.hysteresis!r}")
+        if self.max_input_current <= 0.0:
+            raise ModelParameterError(
+                f"max_input_current must be positive, got {self.max_input_current!r}"
+            )
+
+    # --- averaged (quasi-static) interface --------------------------------------
+
+    def output_power(self, p_in: float, v_in: float, v_out: float) -> float:
+        """Power delivered to the store for ``p_in`` arriving at ``v_in``.
+
+        Returns 0 when disabled or below the minimum input voltage —
+        energy arriving then is simply not transferred (the PV node
+        would rise toward Voc, which the quasi-static engine represents
+        as a non-harvesting step).
+        """
+        if p_in < 0.0:
+            raise ModelParameterError(f"p_in must be >= 0, got {p_in!r}")
+        if not self.enabled or p_in == 0.0 or v_in < self.min_input_voltage:
+            return 0.0
+        return p_in * self.losses.efficiency(p_in, v_in)
+
+    def efficiency(self, p_in: float, v_in: float) -> float:
+        """Transfer efficiency at an operating point (0 when not running)."""
+        if not self.enabled or v_in < self.min_input_voltage:
+            return 0.0
+        return self.losses.efficiency(p_in, v_in)
+
+    # --- hysteretic (transient) interface ----------------------------------------
+
+    def input_current(self, v_in: float, v_ref: float) -> float:
+        """Instantaneous current (amps) the converter pulls from the PV node.
+
+        Input regulation: the sunk current ramps from zero at
+        ``v_ref - hysteresis/2`` to the converter's current limit at
+        ``v_ref + hysteresis/2``.  With the cell charging the input
+        capacitor from below and this law discharging it from above, the
+        node settles into the shallow ripple band around the reference —
+        the averaged equivalent of the prototype's burst regulation.
+        """
+        if not self.enabled or v_in < self.min_input_voltage:
+            self._running = False
+            return 0.0
+        lower = v_ref - self.hysteresis / 2.0
+        fraction = (v_in - lower) / self.hysteresis
+        fraction = min(1.0, max(0.0, fraction))
+        self._running = fraction > 0.0
+        return self.max_input_current * fraction
+
+    @property
+    def running(self) -> bool:
+        """Whether the hysteretic regulator is currently sinking current."""
+        return self._running

@@ -1,0 +1,67 @@
+"""Converter loss / efficiency model.
+
+A three-term loss model standard for micropower switching converters::
+
+    P_loss = P_fixed + k_prop * P_in + (P_in / V_in)^2 * R_cond
+
+* ``P_fixed`` — controller quiescent + gate-drive floor; dominates at
+  microwatt input (it is why indoor converters must be designed for
+  ultra-low quiescent draw).
+* ``k_prop`` — switching losses proportional to throughput.
+* ``R_cond`` — lumped conduction resistance (inductor + switches),
+  quadratic in input current; dominates at high power.
+
+The resulting efficiency curve has the familiar rise-plateau-droop shape
+against load, peaking where fixed and conduction losses cross.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class ConverterLossModel:
+    """Loss parameters for an averaged switching converter.
+
+    Attributes:
+        fixed_power: constant loss while running, watts.
+        proportional_loss: fraction of input power lost to switching.
+        conduction_resistance: lumped series resistance, ohms.
+    """
+
+    fixed_power: float = 2e-6
+    proportional_loss: float = 0.08
+    conduction_resistance: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.fixed_power < 0.0:
+            raise ModelParameterError(f"fixed_power must be >= 0, got {self.fixed_power!r}")
+        if not 0.0 <= self.proportional_loss < 1.0:
+            raise ModelParameterError(
+                f"proportional_loss must be in [0, 1), got {self.proportional_loss!r}"
+            )
+        if self.conduction_resistance < 0.0:
+            raise ModelParameterError(
+                f"conduction_resistance must be >= 0, got {self.conduction_resistance!r}"
+            )
+
+    def loss(self, p_in: float, v_in: float) -> float:
+        """Total loss (watts) transferring ``p_in`` watts from ``v_in`` volts."""
+        if p_in < 0.0:
+            raise ModelParameterError(f"p_in must be >= 0, got {p_in!r}")
+        if p_in == 0.0:
+            return 0.0
+        if v_in <= 0.0:
+            raise ModelParameterError(f"v_in must be positive for nonzero power, got {v_in!r}")
+        i_in = p_in / v_in
+        return self.fixed_power + self.proportional_loss * p_in + i_in * i_in * self.conduction_resistance
+
+    def efficiency(self, p_in: float, v_in: float) -> float:
+        """Transfer efficiency at an operating point, clamped to [0, 1]."""
+        if p_in <= 0.0:
+            return 0.0
+        eta = 1.0 - self.loss(p_in, v_in) / p_in
+        return min(1.0, max(0.0, eta))

@@ -1,0 +1,244 @@
+"""Astable multivibrator — the sampling clock of the MPPT front-end.
+
+The paper adapts the square-wave generator from the LMC7215/LMC6772
+datasheet: a micropower comparator with a positive-feedback divider
+(hysteresis fraction ``beta``) and an RC timing network.  Diode steering
+gives the two half-periods independent resistors, so the prototype's
+wildly asymmetric timing — a 39 ms 'on' (sampling) period and a 69 s
+'off' (hold) period — comes from one capacitor and two resistors.
+
+Timing follows from the RC charge equation between the hysteresis
+thresholds ``Vdd*(1 -/+ beta)/2``::
+
+    t_high = R_on  * C * ln((1 + beta) / (1 - beta))
+    t_low  = R_off * C * ln((1 + beta) / (1 - beta))
+
+Both a stateless phase API (for the quasi-static engine) and a stateful
+capacitor-integration API (for transient/cold-start simulation) are
+provided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analog.comparator import LMC7215, ComparatorSpec
+from repro.errors import ModelParameterError
+
+
+@dataclass
+class AstableMultivibrator:
+    """Comparator relaxation oscillator with diode-steered asymmetric timing.
+
+    Attributes:
+        r_on: timing resistance during the high (PULSE) phase, ohms.
+        r_off: timing resistance during the low (hold) phase, ohms.
+        capacitance: timing capacitor, farads.
+        beta: positive-feedback (hysteresis) fraction, 0..1.
+        feedback_resistance: total resistance of the feedback divider
+            string, ohms (a quiescent drain on the supply).
+        comparator: the comparator part used.
+        supply: supply rail, volts.
+    """
+
+    r_on: float
+    r_off: float
+    capacitance: float
+    beta: float = 0.9
+    feedback_resistance: float = 60e6
+    comparator: ComparatorSpec = field(default_factory=lambda: LMC7215)
+    supply: float = 3.3
+
+    # transient state
+    _v_cap: float = field(default=0.0, repr=False)
+    _output_high: bool = field(default=False, repr=False)
+    _started: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0.0 or self.r_off <= 0.0:
+            raise ModelParameterError("timing resistances must be positive")
+        if self.capacitance <= 0.0:
+            raise ModelParameterError(f"capacitance must be positive, got {self.capacitance!r}")
+        if not 0.0 < self.beta < 1.0:
+            raise ModelParameterError(f"beta must be in (0, 1), got {self.beta!r}")
+        if self.feedback_resistance <= 0.0:
+            raise ModelParameterError(
+                f"feedback_resistance must be positive, got {self.feedback_resistance!r}"
+            )
+        if self.supply <= 0.0:
+            raise ModelParameterError(f"supply must be positive, got {self.supply!r}")
+
+    # --- design helpers -----------------------------------------------------------
+
+    @classmethod
+    def from_timing(
+        cls,
+        t_on: float,
+        t_off: float,
+        capacitance: float = 1e-6,
+        beta: float = 0.9,
+        **kwargs,
+    ) -> "AstableMultivibrator":
+        """Design the RC network for a requested on/off timing.
+
+        Args:
+            t_on: desired PULSE width, seconds (paper: 39 ms).
+            t_off: desired hold period, seconds (paper: 69 s).
+            capacitance: chosen timing capacitor, farads.
+            beta: hysteresis fraction.
+            **kwargs: forwarded to the constructor.
+        """
+        if t_on <= 0.0 or t_off <= 0.0:
+            raise ModelParameterError("t_on and t_off must be positive")
+        log_term = math.log((1.0 + beta) / (1.0 - beta))
+        r_on = t_on / (capacitance * log_term)
+        r_off = t_off / (capacitance * log_term)
+        return cls(r_on=r_on, r_off=r_off, capacitance=capacitance, beta=beta, **kwargs)
+
+    @property
+    def _log_term(self) -> float:
+        return math.log((1.0 + self.beta) / (1.0 - self.beta))
+
+    @property
+    def t_on(self) -> float:
+        """Steady-state PULSE width, seconds."""
+        return self.r_on * self.capacitance * self._log_term
+
+    @property
+    def t_off(self) -> float:
+        """Steady-state hold (low) period, seconds."""
+        return self.r_off * self.capacitance * self._log_term
+
+    @property
+    def period(self) -> float:
+        """Full oscillation period, seconds."""
+        return self.t_on + self.t_off
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time PULSE is high."""
+        return self.t_on / self.period
+
+    @property
+    def thresholds(self) -> tuple:
+        """(lower, upper) hysteresis thresholds, volts."""
+        return (
+            self.supply * (1.0 - self.beta) / 2.0,
+            self.supply * (1.0 + self.beta) / 2.0,
+        )
+
+    # --- stateless phase API (quasi-static engine) ----------------------------------
+
+    def is_pulse_high(self, t: float) -> bool:
+        """Whether PULSE is high at time ``t`` (steady-state phase, t_on first).
+
+        The cycle is referenced so a pulse begins at t = 0 — matching the
+        observed behaviour that the prototype "quickly generates a signal
+        on the PULSE line" after starting.
+        """
+        phase = t % self.period
+        return phase < self.t_on
+
+    def pulse_count_in(self, t_start: float, t_end: float) -> int:
+        """Number of pulse *starts* in the half-open interval [t_start, t_end)."""
+        if t_end < t_start:
+            raise ModelParameterError(f"t_end {t_end} before t_start {t_start}")
+        # Pulse starts are at integer multiples k of the period; count the
+        # integers with t_start <= k*period < t_end.
+        k_min = math.ceil(t_start / self.period - 1e-12)
+        k_max = math.ceil(t_end / self.period - 1e-12) - 1
+        return max(0, k_max - k_min + 1)
+
+    def next_pulse_start(self, t: float) -> float:
+        """Time of the first pulse start at or after ``t``."""
+        cycles = math.ceil(t / self.period)
+        candidate = cycles * self.period
+        if candidate < t:
+            candidate += self.period
+        return candidate
+
+    # --- current budget -----------------------------------------------------------
+
+    def timing_network_current(self) -> float:
+        """Cycle-average current through the timing RC, amps.
+
+        Each half-cycle moves ``C * beta * Vdd`` of charge through the
+        timing resistor, so the average is ``2 C beta Vdd / period``.
+        """
+        return 2.0 * self.capacitance * self.beta * self.supply / self.period
+
+    def feedback_divider_current(self) -> float:
+        """Average current through the positive-feedback divider, amps.
+
+        The divider string hangs between the output rail and ground, so
+        it conducts whenever the output is high; weighted by duty.
+        """
+        return (self.supply / self.feedback_resistance) * self.duty_cycle
+
+    def average_current(self) -> float:
+        """Total average supply current of the astable block, amps."""
+        return (
+            self.comparator.quiescent_current
+            + self.timing_network_current()
+            + self.feedback_divider_current()
+        )
+
+    # --- stateful transient API ------------------------------------------------------
+
+    @property
+    def output_high(self) -> bool:
+        """Current transient output state."""
+        return self._output_high
+
+    @property
+    def capacitor_voltage(self) -> float:
+        """Current timing-capacitor voltage (transient state), volts."""
+        return self._v_cap
+
+    def reset(self) -> None:
+        """Return the transient state to power-off."""
+        self._v_cap = 0.0
+        self._output_high = False
+        self._started = False
+
+    def advance(self, dt: float, supply: float | None = None) -> bool:
+        """Integrate the oscillator by ``dt`` seconds; returns PULSE state.
+
+        With the supply below the comparator's minimum the oscillator is
+        dead (output low, capacitor bleeding to zero).  On power-up the
+        capacitor sits below the lower threshold, so the output goes high
+        immediately — the fast first PULSE the paper reports.
+
+        Uses the exact RC exponential within the step, with threshold
+        crossings handled by state switching per step (dt should be well
+        below t_on for waveform accuracy).
+        """
+        if dt < 0.0:
+            raise ModelParameterError(f"dt must be >= 0, got {dt!r}")
+        vdd = self.supply if supply is None else supply
+        if vdd < self.comparator.min_supply:
+            self._v_cap *= math.exp(-dt / (self.r_off * self.capacitance))
+            self._output_high = False
+            self._started = False
+            return False
+
+        lower = vdd * (1.0 - self.beta) / 2.0
+        upper = vdd * (1.0 + self.beta) / 2.0
+
+        if not self._started:
+            # Comparator wakes: cap below lower threshold forces output high.
+            self._output_high = self._v_cap < upper
+            self._started = True
+
+        if self._output_high:
+            target, tau = vdd, self.r_on * self.capacitance
+        else:
+            target, tau = 0.0, self.r_off * self.capacitance
+        self._v_cap = target + (self._v_cap - target) * math.exp(-dt / tau)
+
+        if self._output_high and self._v_cap >= upper:
+            self._output_high = False
+        elif not self._output_high and self._v_cap <= lower:
+            self._output_high = True
+        return self._output_high

@@ -1,0 +1,200 @@
+"""Cold-start chain and the ACTIVE sanity comparator (paper Sec. III).
+
+Cold start: with the energy store flat, the PV module trickle-charges a
+small reservoir capacitor C1 through diode D1.  When C1 reaches a
+threshold, the MPPT circuitry (astable + S&H) switches on; the first
+PULSE samples Voc; only once HELD_SAMPLE is valid does the ACTIVE
+comparator let the switching converter start.  "The cold-start of the
+system has been observed down to light levels of 200 lux."
+
+Two small state machines model this:
+
+* :class:`ColdStartCircuit` — C1/D1 charging and the hysteretic INIT
+  threshold that gates power to the metrology.
+* :class:`ActiveMonitor` — U5, comparing HELD_SAMPLE against a divided
+  supply rail; plus the M8 inhibit that forces the converter off while
+  a sample is in progress.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analog.comparator import LMC7215, Comparator, ComparatorSpec
+from repro.errors import ModelParameterError
+from repro.pv.single_diode import SingleDiodeModel
+
+
+@dataclass
+class ColdStartCircuit:
+    """Reservoir capacitor + diode + hysteretic enable threshold.
+
+    Attributes:
+        reservoir: C1 capacitance, farads.
+        diode_drop: D1 forward drop, volts.
+        turn_on_voltage: C1 voltage at which the MPPT circuitry powers
+            up, volts.
+        turn_off_voltage: C1 voltage at which it powers back down
+            (hysteresis below turn-on), volts.
+        bleed_resistance: total leakage load on C1 while the metrology
+            is off, ohms.
+        voltage: current C1 voltage (state), volts.
+    """
+
+    reservoir: float = 10e-6
+    diode_drop: float = 0.25
+    turn_on_voltage: float = 2.4
+    turn_off_voltage: float = 1.9
+    bleed_resistance: float = 50e6
+    voltage: float = 0.0
+
+    _powered: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.reservoir <= 0.0:
+            raise ModelParameterError(f"reservoir must be positive, got {self.reservoir!r}")
+        if self.diode_drop < 0.0:
+            raise ModelParameterError(f"diode_drop must be >= 0, got {self.diode_drop!r}")
+        if not 0.0 < self.turn_off_voltage < self.turn_on_voltage:
+            raise ModelParameterError(
+                "need 0 < turn_off_voltage < turn_on_voltage, got "
+                f"{self.turn_off_voltage!r} / {self.turn_on_voltage!r}"
+            )
+        if self.bleed_resistance <= 0.0:
+            raise ModelParameterError(
+                f"bleed_resistance must be positive, got {self.bleed_resistance!r}"
+            )
+
+    @property
+    def powered(self) -> bool:
+        """Whether the MPPT circuitry is currently energised."""
+        return self._powered
+
+    def charge_step(
+        self,
+        cell_model: SingleDiodeModel,
+        dt: float,
+        metrology_current: float = 0.0,
+    ) -> bool:
+        """Advance C1 by ``dt`` seconds fed from the PV cell through D1.
+
+        The cell sees C1 (plus drop) as its load; the charging current is
+        the cell's output current at ``v_c1 + diode_drop``, zero once the
+        cell can't overcome the diode.  While powered, the metrology's
+        supply current discharges C1 — at very low light the system can
+        brown out again, which the hysteresis handles.
+
+        Args:
+            cell_model: the cell's curve at the current light level.
+            dt: step, seconds.
+            metrology_current: load on C1 while powered, amps.
+
+        Returns:
+            The powered state after the step.
+        """
+        if dt < 0.0:
+            raise ModelParameterError(f"dt must be >= 0, got {dt!r}")
+        terminal = self.voltage + self.diode_drop
+        if terminal < cell_model.voc():
+            charge_current = max(0.0, float(cell_model.current_at(terminal)))
+        else:
+            charge_current = 0.0
+
+        bleed = self.voltage / self.bleed_resistance
+        load = metrology_current if self._powered else 0.0
+        net = charge_current - bleed - load
+        self.voltage = max(0.0, self.voltage + net * dt / self.reservoir)
+
+        if self._powered:
+            if self.voltage < self.turn_off_voltage:
+                self._powered = False
+        else:
+            if self.voltage >= self.turn_on_voltage:
+                self._powered = True
+        return self._powered
+
+    def estimated_cold_start_time(self, cell_model: SingleDiodeModel) -> float:
+        """Closed-form estimate of the time to reach turn-on from empty.
+
+        Treats the cell as a constant-current source at its short-circuit
+        level minus the exponential taper near Voc — adequate because C1
+        charges far below Voc for most of the ramp.  Returns ``inf`` if
+        the cell cannot reach the threshold at all.
+
+        Used by tests as an independent check on the transient result.
+        """
+        if cell_model.voc() <= self.turn_on_voltage + self.diode_drop:
+            return float("inf")
+        steps = 200
+        total = 0.0
+        v = 0.0
+        dv = self.turn_on_voltage / steps
+        for _ in range(steps):
+            current = float(cell_model.current_at(v + self.diode_drop)) - v / self.bleed_resistance
+            if current <= 0.0:
+                return float("inf")
+            total += self.reservoir * dv / current
+            v += dv
+        return total
+
+    def reset(self) -> None:
+        """Discharge C1 (fully dead system)."""
+        self.voltage = 0.0
+        self._powered = False
+
+
+@dataclass
+class ActiveMonitor:
+    """U5 + M8: gate the converter on a valid held sample.
+
+    The ACTIVE output goes high when HELD_SAMPLE exceeds a threshold
+    derived by dividing the supply rail ("an arbitrary threshold voltage
+    provided by dividing the supply rail voltage by two" — here the
+    *divided* rail, i.e. ``threshold_fraction * supply * alpha`` scaled
+    so a held sample from any plausible Voc passes while a discharged
+    hold capacitor does not).  M8 pulls the converter's IN+ low during
+    sampling so the converter is always off while the PV module is
+    disconnected.
+
+    Attributes:
+        comparator: the U5 part.
+        threshold_fraction: ACTIVE threshold as a fraction of supply.
+        supply: rail, volts.
+    """
+
+    comparator: ComparatorSpec = field(default_factory=lambda: LMC7215)
+    threshold_fraction: float = 0.25
+    supply: float = 3.3
+    _u5: Comparator = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold_fraction < 1.0:
+            raise ModelParameterError(
+                f"threshold_fraction must be in (0, 1), got {self.threshold_fraction!r}"
+            )
+        if self.supply <= 0.0:
+            raise ModelParameterError(f"supply must be positive, got {self.supply!r}")
+        self._u5 = Comparator(spec=self.comparator, supply=self.supply)
+
+    @property
+    def threshold(self) -> float:
+        """ACTIVE threshold voltage, volts."""
+        return self.threshold_fraction * self.supply
+
+    def active(self, held_sample: float) -> bool:
+        """Evaluate ACTIVE for the current HELD_SAMPLE."""
+        return self._u5.evaluate(held_sample, self.threshold)
+
+    def converter_enabled(self, held_sample: float, pulse_high: bool) -> bool:
+        """Whether the converter may run: ACTIVE high and not sampling (M8)."""
+        return self.active(held_sample) and not pulse_high
+
+    def supply_current(self) -> float:
+        """U5 quiescent current plus its threshold divider, amps.
+
+        The threshold divider is sized at the same impedance class as
+        the feedback strings (tens of megohms).
+        """
+        divider_current = self.supply / 40e6
+        return self._u5.supply_current() + divider_current

@@ -1,0 +1,128 @@
+"""Platform configuration: everything that defines one built system.
+
+:class:`PlatformConfig` bundles the paper's component choices — astable
+timing, divider ratio (``k * alpha``), hold capacitor, comparator and
+buffer parts, cold-start thresholds, converter — and derives the
+aggregate numbers the paper reports (the 7.6 uA astable+S&H budget, the
+~8 uA total metrology draw).  :meth:`PlatformConfig.paper_prototype`
+reproduces the published design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.converter.buck_boost import BuckBoostConverter
+from repro.core.astable import AstableMultivibrator
+from repro.core.coldstart import ActiveMonitor, ColdStartCircuit
+from repro.core.sample_hold import SampleHoldCircuit
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PlatformConfig:
+    """One complete Fig. 3 platform configuration.
+
+    Attributes:
+        astable: the sampling clock.
+        sample_hold: the S&H chain.
+        coldstart: the C1/D1 cold-start circuit.
+        active: the U5/M8 converter gate.
+        converter: the buck-boost converter model.
+        alpha: the representation-scaling factor of Eq. (3)
+            (HELD_SAMPLE = Voc * k * alpha); the converter multiplies it
+            back out when regulating PV_IN.  The prototype divides by
+            two (alpha = 0.5) so HELD_SAMPLE stays within rails.
+        supply: metrology rail, volts.
+        min_operating_voltage: storage voltage below which the metrology
+            browns out and the system must cold-start again, volts.
+    """
+
+    astable: AstableMultivibrator = field(
+        default_factory=lambda: AstableMultivibrator.from_timing(t_on=39e-3, t_off=69.0)
+    )
+    sample_hold: SampleHoldCircuit = field(default_factory=SampleHoldCircuit)
+    coldstart: ColdStartCircuit = field(default_factory=ColdStartCircuit)
+    active: ActiveMonitor = field(default_factory=ActiveMonitor)
+    converter: BuckBoostConverter = field(default_factory=BuckBoostConverter)
+    alpha: float = 0.5
+    supply: float = 3.3
+    min_operating_voltage: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {self.alpha!r}")
+        if self.supply <= 0.0:
+            raise ConfigurationError(f"supply must be positive, got {self.supply!r}")
+        if self.min_operating_voltage <= 0.0:
+            raise ConfigurationError(
+                f"min_operating_voltage must be positive, got {self.min_operating_voltage!r}"
+            )
+        if self.sample_hold.nominal_ratio >= 1.0:
+            raise ConfigurationError("divider ratio must be below 1")
+
+    @classmethod
+    def paper_prototype(cls) -> "PlatformConfig":
+        """The published design point: 39 ms / 69 s timing, k*alpha ~ 0.298.
+
+        Table I's mean measured ratio is HELD/Voc = 0.2978 (k = 59.56 %
+        at alpha = 0.5); the divider here is trimmed to that value, as
+        the paper notes R2 would be trimmed in practice.
+        """
+        return cls()
+
+    @classmethod
+    def trimmed_for_cell(cls, cell, lux: float = 1000.0, **kwargs) -> "PlatformConfig":
+        """A prototype with R2 trimmed to the cell's own k, as the paper
+        prescribes ("trimmed by means of a variable potentiometer in
+        place of R2 in order to bring it to any desired value of k").
+
+        Args:
+            cell: the :class:`~repro.pv.cells.PVCell` to trim against.
+            lux: the trim condition's intensity.
+            **kwargs: forwarded to the constructor.
+        """
+        from repro.analog.components import ResistiveDivider
+        from repro.core.sample_hold import SampleHoldCircuit
+
+        config = cls(**kwargs)
+        k_cell = cell.mpp(lux).k
+        total = config.sample_hold.divider.total_resistance
+        config.sample_hold = SampleHoldCircuit(
+            divider=ResistiveDivider.from_ratio(k_cell * config.alpha, total),
+            hold_capacitor=config.sample_hold.hold_capacitor,
+            supply=config.supply,
+        )
+        return config
+
+    # --- derived quantities --------------------------------------------------------
+
+    @property
+    def k_target(self) -> float:
+        """The k the divider realises (``ratio / alpha``) — Table I's k."""
+        return self.sample_hold.nominal_ratio / self.alpha
+
+    def metrology_current(self) -> float:
+        """Average supply current of astable + S&H + ACTIVE monitor, amps.
+
+        This is the paper's "additional current draw of the sample-and-
+        hold circuitry" — everything the MPPT adds beyond the converter.
+        """
+        return self.sampling_chain_current() + self.active.supply_current()
+
+    def sampling_chain_current(self) -> float:
+        """Average current of astable + S&H only, amps (the 7.6 uA figure)."""
+        return self.astable.average_current() + self.sample_hold.quiescent_current()
+
+    def sampling_duty(self) -> float:
+        """Fraction of time spent sampling (PV disconnected)."""
+        return self.astable.duty_cycle
+
+    def operating_point_from_held(self, held_sample: float) -> float:
+        """PV regulation setpoint (volts) for a given HELD_SAMPLE.
+
+        The converter's input divider scales PV_IN by ``alpha`` before
+        comparing with HELD_SAMPLE, so the node regulates to
+        ``held / alpha``.
+        """
+        return held_sample / self.alpha

@@ -1,0 +1,248 @@
+"""Node-level transient model of the full platform (Fig. 3 -> Fig. 4).
+
+Integrates the actual node dynamics the oscilloscope saw on the bench:
+
+* ``PV_IN`` — the PV module's terminal across the converter input
+  capacitor C2.  Between samples the hysteretic converter gnaws it into
+  a shallow sawtooth around the regulation point; when PULSE rises the
+  loads disconnect and the node relaxes up to (nearly) Voc at a rate set
+  by the cell's current into C2 — which is exactly why the 39 ms pulse
+  width matters at low lux.
+* ``HELD_SAMPLE`` — the hold capacitor through U4 and the R3/C3 ripple
+  filter, updating during the pulse and drooping between.
+* ``PULSE`` / ``ACTIVE`` — the astable output and U5's converter gate.
+* ``V_C1`` — the cold-start reservoir, charged from the PV node through
+  D1; in ``self_powered`` mode the metrology rail *is* this node, which
+  is how the platform cold-starts and then sustains itself.
+
+The model implements the :class:`~repro.sim.transient.TransientSystem`
+protocol; drive it with :class:`~repro.sim.transient.TransientSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.config import PlatformConfig
+from repro.errors import ModelParameterError
+from repro.pv.cells import PVCell
+from repro.pv.irradiance import FLUORESCENT, LightSource
+from repro.units import T_STC
+
+
+@dataclass
+class TransientPlatform:
+    """Transient (waveform-level) simulation of the whole platform.
+
+    Args:
+        cell: the PV cell.
+        lux: illuminance — constant, or a callable ``lux(t)``.
+        config: platform build (paper prototype by default).
+        input_capacitance: converter input capacitor C2, farads.
+        self_powered: if True the metrology rail is the C1 node (cold
+            start physics); if False it is ``config.supply`` (the bench
+            condition of Fig. 4 / the current-draw measurement).
+        diode_series_resistance: D1's series resistance, ohms.
+        source: light-source spectrum.
+        temperature: cell temperature, kelvin.
+    """
+
+    cell: PVCell
+    lux: float | Callable[[float], float] = 1000.0
+    config: PlatformConfig = field(default_factory=PlatformConfig.paper_prototype)
+    input_capacitance: float = 330e-9
+    self_powered: bool = False
+    diode_series_resistance: float = 1000.0
+    source: LightSource = field(default_factory=lambda: FLUORESCENT)
+    temperature: float = T_STC
+
+    # node states
+    v_pv: float = 0.0
+    v_hold_line: float = 0.0  # after R3/C3 filter
+    energy_delivered: float = 0.0
+
+    _model_cache_lux: float = field(default=-1.0, repr=False)
+    _model: object = field(default=None, repr=False)
+    _pulse: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.input_capacitance <= 0.0:
+            raise ModelParameterError(
+                f"input_capacitance must be positive, got {self.input_capacitance!r}"
+            )
+        if self.diode_series_resistance <= 0.0:
+            raise ModelParameterError(
+                f"diode_series_resistance must be positive, got {self.diode_series_resistance!r}"
+            )
+
+    # --- helpers ---------------------------------------------------------------
+
+    def _lux_at(self, t: float) -> float:
+        if callable(self.lux):
+            return max(0.0, float(self.lux(t)))
+        return max(0.0, float(self.lux))
+
+    def _cell_model(self, t: float):
+        lux_now = self._lux_at(t)
+        if self._model is None or abs(lux_now - self._model_cache_lux) > max(
+            0.001, 0.001 * lux_now
+        ):
+            self._model = self.cell.model_at(lux_now, source=self.source, temperature=self.temperature)
+            self._model_cache_lux = lux_now
+        return self._model
+
+    def warm_start(self, t_to_next_pulse: float = 0.2) -> None:
+        """Analytically pre-position the platform in steady state.
+
+        Waveform captures (Fig. 4) want the system mid-hold, just before
+        the next sampling pulse; integrating the whole 69 s hold at
+        microsecond steps would be wasteful.  This performs one
+        quasi-static sample, droops it through the hold, places the PV
+        node at its regulation point, and phases the astable so the next
+        PULSE fires in ``t_to_next_pulse`` seconds.
+        """
+        import math
+
+        if t_to_next_pulse < 0.0:
+            raise ModelParameterError(
+                f"t_to_next_pulse must be >= 0, got {t_to_next_pulse!r}"
+            )
+        cfg = self.config
+        model = self._cell_model(0.0)
+        cfg.sample_hold.sample(model, cfg.astable.t_on)
+        cfg.sample_hold.droop(max(0.0, cfg.astable.t_off - t_to_next_pulse))
+        held = cfg.sample_hold.held_sample
+        cfg.sample_hold.output_buffer.settle(cfg.sample_hold.held_voltage)
+        self.v_hold_line = held
+        self.v_pv = cfg.operating_point_from_held(held)
+        if not self.self_powered:
+            cfg.coldstart._powered = True
+            cfg.coldstart.voltage = cfg.supply
+        # Phase the astable: output low, capacitor discharging toward the
+        # lower threshold, arriving there in t_to_next_pulse seconds.
+        rail = self.supply_rail
+        lower = rail * (1.0 - cfg.astable.beta) / 2.0
+        tau_off = cfg.astable.r_off * cfg.astable.capacitance
+        cfg.astable._v_cap = lower * math.exp(t_to_next_pulse / tau_off)
+        cfg.astable._output_high = False
+        cfg.astable._started = True
+        self._pulse = False
+
+    @property
+    def supply_rail(self) -> float:
+        """The metrology supply right now, volts."""
+        return self.config.coldstart.voltage if self.self_powered else self.config.supply
+
+    @property
+    def metrology_alive(self) -> bool:
+        """Whether the rail is high enough for the parts to run."""
+        if not self.self_powered:
+            return True
+        cfg = self.config
+        if cfg.coldstart.powered:
+            return True
+        # ColdStartCircuit's hysteresis decides; mirror its state machine.
+        return False
+
+    # --- TransientSystem protocol ---------------------------------------------------
+
+    def advance(self, t: float, dt: float) -> None:
+        """Integrate every node by ``dt`` seconds."""
+        cfg = self.config
+        model = self._cell_model(t)
+        sh = cfg.sample_hold
+
+        # Cold-start reservoir state machine (also the self-powered rail).
+        if self.self_powered:
+            # D1 conducts from the PV node.
+            headroom = self.v_pv - cfg.coldstart.voltage - cfg.coldstart.diode_drop
+            i_d1 = max(0.0, headroom / self.diode_series_resistance)
+            load = cfg.metrology_current() if cfg.coldstart.powered else 0.0
+            bleed = cfg.coldstart.voltage / cfg.coldstart.bleed_resistance
+            cfg.coldstart.voltage = max(
+                0.0, cfg.coldstart.voltage + (i_d1 - load - bleed) * dt / cfg.coldstart.reservoir
+            )
+            if cfg.coldstart.powered:
+                if cfg.coldstart.voltage < cfg.coldstart.turn_off_voltage:
+                    cfg.coldstart._powered = False
+            else:
+                if cfg.coldstart.voltage >= cfg.coldstart.turn_on_voltage:
+                    cfg.coldstart._powered = True
+        else:
+            i_d1 = 0.0
+            cfg.coldstart._powered = True
+            cfg.coldstart.voltage = max(cfg.coldstart.voltage, cfg.supply)
+
+        rail = self.supply_rail
+        alive = cfg.coldstart.powered if self.self_powered else True
+
+        # Astable runs from the rail.
+        pulse = cfg.astable.advance(dt, rail) if alive else False
+        pulse_edge_falling = self._pulse and not pulse
+        self._pulse = pulse
+
+        # --- PV node currents ------------------------------------------------------
+        i_cell = float(model.current_at(self.v_pv)) if self._lux_at(t) > 0.0 else 0.0
+        i_divider = 0.0
+        i_converter = 0.0
+
+        if pulse and alive:
+            # Loads disconnected; divider samples the node.
+            i_divider = self.v_pv / sh.divider.total_resistance
+            tap = self.v_pv * sh.divider.ratio
+            sh.input_buffer.step(tap, dt)
+            if not sh.switch.closed:
+                sh.switch.close()
+            # Hold capacitor charges through U2's output and the switch.
+            tau = sh.settle_time_constant()
+            import math
+
+            target = sh.input_buffer.output
+            sh._held += (target - sh._held) * (1.0 - math.exp(-dt / tau))
+        else:
+            if sh.switch.closed:
+                kick = sh.switch.open(sh.hold_capacitor.farads)
+                sh._held = min(rail, max(0.0, sh._held + kick))
+            if alive:
+                sh.droop(dt)
+            held = sh.held_sample if alive else 0.0
+            enabled = alive and cfg.active.converter_enabled(held, pulse_high=False)
+            cfg.converter.enabled = enabled
+            v_ref = cfg.operating_point_from_held(held)
+            i_converter = cfg.converter.input_current(self.v_pv, v_ref)
+            if i_converter > 0.0:
+                p_in = self.v_pv * i_converter
+                self.energy_delivered += cfg.converter.output_power(p_in, self.v_pv, 3.0) * dt
+
+        if pulse_edge_falling:
+            pass  # charge-injection handled at the open() above
+
+        dv = (i_cell - i_divider - i_converter - i_d1) * dt / self.input_capacitance
+        self.v_pv = max(0.0, self.v_pv + dv)
+
+        # Output buffer and R3/C3 filter shape the HELD_SAMPLE line.
+        if alive:
+            sh.output_buffer.step(sh._held, dt)
+            import math
+
+            tau_f = sh.ripple_filter_r * sh.ripple_filter_c
+            blend = 1.0 - math.exp(-dt / tau_f)
+            self.v_hold_line += (sh.output_buffer.output - self.v_hold_line) * blend
+        else:
+            self.v_hold_line = 0.0
+
+    def signals(self) -> Dict[str, float]:
+        """Current observable signal values (the 'scope channels')."""
+        cfg = self.config
+        alive = cfg.coldstart.powered if self.self_powered else True
+        held = self.v_hold_line
+        active = alive and cfg.active.active(held)
+        return {
+            "PULSE": self.supply_rail if self._pulse else 0.0,
+            "PV_IN": self.v_pv,
+            "HELD_SAMPLE": held,
+            "ACTIVE": self.supply_rail if active else 0.0,
+            "V_C1": cfg.coldstart.voltage,
+            "CONVERTER_RUNNING": 1.0 if cfg.converter.running else 0.0,
+        }

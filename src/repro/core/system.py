@@ -1,0 +1,195 @@
+"""The complete Fig. 3 platform as a quasi-static harvesting controller.
+
+:class:`SampleHoldMPPT` wires the astable, sample-and-hold, cold-start
+chain, ACTIVE monitor and converter model into one object implementing
+the :class:`~repro.sim.quasistatic.HarvestingController` protocol, so it
+drops into the same simulation loop as every baseline technique.
+
+Operating cycle (steady state):
+
+1. The astable raises PULSE for ``t_on`` every ``t_on + t_off`` seconds.
+2. During PULSE the loads are disconnected (harvest pauses — accounted
+   as a duty loss), the S&H samples the loaded Voc, and M8 keeps the
+   converter inhibited.
+3. Between pulses the converter regulates the PV module at
+   ``HELD_SAMPLE / alpha`` while the hold capacitor droops slowly.
+
+Cold start: from a dead store, the PV cell charges C1; once the
+threshold is crossed the metrology wakes, the first PULSE fires almost
+immediately, and ACTIVE releases the converter only after a valid
+sample is held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import PlatformConfig
+from repro.errors import ModelParameterError
+from repro.sim.quasistatic import ControlDecision, Observation
+
+
+@dataclass
+class SampleHoldMPPT:
+    """The proposed ultra low-power S&H FOCV MPPT system.
+
+    Args:
+        config: the platform build; defaults to the paper prototype.
+        assume_started: skip cold-start (bench tests with a powered rail).
+        name: report label.
+    """
+
+    config: PlatformConfig = field(default_factory=PlatformConfig.paper_prototype)
+    assume_started: bool = False
+    name: str = "proposed-S&H-FOCV"
+
+    _powered: bool = field(default=False, repr=False)
+    _next_pulse: float = field(default=0.0, repr=False)
+    _sample_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.assume_started:
+            self._powered = True
+
+    # --- observables -----------------------------------------------------------
+
+    @property
+    def powered(self) -> bool:
+        """Whether the metrology is energised (cold start complete)."""
+        return self._powered
+
+    @property
+    def held_sample(self) -> float:
+        """Current HELD_SAMPLE output, volts."""
+        return self.config.sample_hold.held_sample
+
+    @property
+    def sample_count(self) -> int:
+        """Sampling operations performed so far."""
+        return self._sample_count
+
+    def reset(self) -> None:
+        """Return to the fully-dead state."""
+        self._powered = self.assume_started
+        self._next_pulse = 0.0
+        self._sample_count = 0
+        self.config.sample_hold.reset()
+        self.config.coldstart.reset()
+        self.config.astable.reset()
+
+    # --- controller protocol ------------------------------------------------------
+
+    def decide(self, obs: Observation) -> ControlDecision:
+        """One quasi-static step of the whole platform."""
+        cfg = self.config
+
+        if not self._powered:
+            return self._cold_start_step(obs)
+
+        # Brown-out: if the rail powering the metrology collapses, the
+        # system is dead and must cold-start again.
+        if obs.storage_voltage < cfg.min_operating_voltage and not self.assume_started:
+            has_coldstart_rail = cfg.coldstart.voltage >= cfg.coldstart.turn_off_voltage
+            if not has_coldstart_rail:
+                self._powered = False
+                cfg.sample_hold.reset()
+                return self._cold_start_step(obs)
+
+        # --- sampling operations that fall inside this step -----------------------
+        t_end = obs.time + obs.dt
+        sampling_time = 0.0
+        cursor = obs.time
+        while self._next_pulse < t_end:
+            pulse_at = max(self._next_pulse, obs.time)
+            # Droop from the cursor up to the pulse, then sample.
+            cfg.sample_hold.droop(max(0.0, pulse_at - cursor))
+            cfg.sample_hold.sample(obs.cell_model, cfg.astable.t_on)
+            self._sample_count += 1
+            sampling_time += cfg.astable.t_on
+            cursor = pulse_at
+            self._next_pulse += cfg.astable.period
+        cfg.sample_hold.droop(max(0.0, t_end - cursor))
+
+        held = cfg.sample_hold.held_sample
+        duty = max(0.0, 1.0 - sampling_time / obs.dt)
+
+        overhead = cfg.metrology_current()
+        # Divider current while PULSE is high, averaged over the step.
+        if sampling_time > 0.0:
+            overhead += (
+                cfg.sample_hold.sampling_extra_current(obs.cell_model.voc())
+                * sampling_time
+                / obs.dt
+            )
+
+        # ACTIVE gate and converter minimum input.
+        if not cfg.active.active(held):
+            return ControlDecision(
+                operating_voltage=None,
+                harvest_duty=0.0,
+                overhead_current=overhead,
+                note="ACTIVE low",
+            )
+        v_op = cfg.operating_point_from_held(held)
+        if v_op < cfg.converter.min_input_voltage:
+            return ControlDecision(
+                operating_voltage=None,
+                harvest_duty=0.0,
+                overhead_current=overhead,
+                note="below converter minimum",
+            )
+        # The cell cannot be regulated above its open-circuit voltage —
+        # the converter just idles at (near) zero current there.
+        if v_op >= obs.cell_model.voc():
+            return ControlDecision(
+                operating_voltage=None,
+                harvest_duty=0.0,
+                overhead_current=overhead,
+                note="setpoint above Voc",
+            )
+        return ControlDecision(
+            operating_voltage=v_op,
+            harvest_duty=duty,
+            overhead_current=overhead,
+        )
+
+    def _cold_start_step(self, obs: Observation) -> ControlDecision:
+        """Charge C1 from the cell; wake the metrology on threshold."""
+        cfg = self.config
+        powered = cfg.coldstart.charge_step(
+            obs.cell_model,
+            obs.dt,
+            metrology_current=cfg.metrology_current(),
+        )
+        if powered:
+            self._powered = True
+            # "The system has been shown to cold-start and quickly
+            # generate a signal on the PULSE line": first sample fires on
+            # the next step boundary.
+            self._next_pulse = obs.time + obs.dt
+        # All PV energy goes into C1 during cold start; nothing is
+        # harvested into storage and nothing is drawn from it.
+        return ControlDecision(
+            operating_voltage=None,
+            harvest_duty=0.0,
+            overhead_current=0.0,
+            note="cold-starting",
+        )
+
+    # --- introspection helpers (benches/tests) --------------------------------------
+
+    def steady_state_operating_voltage(self, cell_model) -> Optional[float]:
+        """Where the platform would regulate the given curve after one sample.
+
+        A pure function used by the Table I bench: performs a sample on a
+        scratch copy of the S&H and returns the resulting setpoint.
+        """
+        import copy
+
+        scratch = copy.deepcopy(self.config.sample_hold)
+        scratch.sample(cell_model, self.config.astable.t_on)
+        held = scratch.held_sample
+        if not self.config.active.active(held):
+            return None
+        return self.config.operating_point_from_held(held)

@@ -1,0 +1,51 @@
+"""Light environments.
+
+Deterministic-plus-seeded-stochastic illuminance profiles ``lux(t)``
+covering the paper's scenarios: the office-desk and semi-mobile 24-hour
+logs of Fig. 2, constant bench intensities for Table I, and the indoor /
+outdoor building blocks (lamp schedules, blinds-filtered daylight,
+clear-sky sun, clouds) they compose from.
+"""
+
+from repro.env.profiles import (
+    LightProfile,
+    StepProfile,
+    ConstantProfile,
+    PiecewiseProfile,
+    CompositeProfile,
+    ScaledProfile,
+    NoisyProfile,
+    SampledProfile,
+)
+from repro.env.indoor import ArtificialLighting, WindowDaylight, OccupancyLighting
+from repro.env.outdoor import ClearSkySun, CloudField
+from repro.env.scenarios import (
+    office_desk_24h,
+    semi_mobile_24h,
+    outdoor_day,
+    constant_bench,
+    step_change,
+    weekly_office,
+)
+
+__all__ = [
+    "LightProfile",
+    "StepProfile",
+    "OccupancyLighting",
+    "step_change",
+    "ConstantProfile",
+    "PiecewiseProfile",
+    "CompositeProfile",
+    "ScaledProfile",
+    "NoisyProfile",
+    "SampledProfile",
+    "ArtificialLighting",
+    "WindowDaylight",
+    "ClearSkySun",
+    "CloudField",
+    "office_desk_24h",
+    "semi_mobile_24h",
+    "outdoor_day",
+    "constant_bench",
+    "weekly_office",
+]

@@ -1,0 +1,130 @@
+"""Indoor lighting building blocks: lamp schedules and window daylight."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.env.profiles import HOURS, LightProfile
+from repro.errors import ModelParameterError
+
+
+class ArtificialLighting(LightProfile):
+    """Overhead artificial lighting on a daily on/off schedule.
+
+    Produces a constant desk-level illuminance while on, with sharp
+    edges — the "lights-off at the end of the day" step that Fig. 2
+    shows "can easily be identified".
+
+    Args:
+        level: desk illuminance while on, lux.
+        on_hour: daily switch-on time, hours (0-24).
+        off_hour: daily switch-off time, hours (0-24); may wrap past
+            midnight by exceeding 24.
+        warmup_seconds: linear ramp to full output (fluorescent strike
+            and warm-up), seconds.
+    """
+
+    def __init__(
+        self,
+        level: float = 450.0,
+        on_hour: float = 8.0,
+        off_hour: float = 21.0,
+        warmup_seconds: float = 60.0,
+    ):
+        if level < 0.0:
+            raise ModelParameterError(f"level must be >= 0, got {level!r}")
+        if warmup_seconds < 0.0:
+            raise ModelParameterError(f"warmup_seconds must be >= 0, got {warmup_seconds!r}")
+        self.level = level
+        self.on_time = on_hour * HOURS
+        self.off_time = off_hour * HOURS
+        self.warmup_seconds = warmup_seconds
+
+    def lux(self, t: float) -> float:
+        day_t = t % (24.0 * HOURS)
+        on, off = self.on_time, self.off_time
+        if off > 24.0 * HOURS:
+            in_window = day_t >= on or day_t < (off - 24.0 * HOURS)
+        else:
+            in_window = on <= day_t < off
+        if not in_window:
+            return 0.0
+        if self.warmup_seconds > 0.0:
+            since_on = (day_t - on) % (24.0 * HOURS)
+            if since_on < self.warmup_seconds:
+                return self.level * since_on / self.warmup_seconds
+        return self.level
+
+
+class WindowDaylight(LightProfile):
+    """Daylight reaching a desk through a window (optionally blinded).
+
+    A raised-cosine day-shape between sunrise and sunset, scaled by a
+    transmission factor.  With blinds closed the transmission is small
+    but nonzero — the Sunday desk test in the paper still clearly shows
+    sunrise through closed blinds.
+
+    Args:
+        peak_lux: desk illuminance at solar noon with transmission 1.0.
+        sunrise_hour: local sunrise, hours.
+        sunset_hour: local sunset, hours.
+        transmission: window/blinds attenuation factor, 0..1.
+    """
+
+    def __init__(
+        self,
+        peak_lux: float = 5000.0,
+        sunrise_hour: float = 6.0,
+        sunset_hour: float = 20.0,
+        transmission: float = 0.1,
+    ):
+        if peak_lux < 0.0:
+            raise ModelParameterError(f"peak_lux must be >= 0, got {peak_lux!r}")
+        if sunset_hour <= sunrise_hour:
+            raise ModelParameterError("sunset must be after sunrise")
+        if not 0.0 <= transmission <= 1.0:
+            raise ModelParameterError(f"transmission must be in [0, 1], got {transmission!r}")
+        self.peak_lux = peak_lux
+        self.sunrise = sunrise_hour * HOURS
+        self.sunset = sunset_hour * HOURS
+        self.transmission = transmission
+
+    def lux(self, t: float) -> float:
+        import math
+
+        day_t = t % (24.0 * HOURS)
+        if not self.sunrise <= day_t <= self.sunset:
+            return 0.0
+        phase = (day_t - self.sunrise) / (self.sunset - self.sunrise)
+        shape = math.sin(math.pi * phase)
+        return self.peak_lux * self.transmission * shape * shape
+
+
+class OccupancyLighting(LightProfile):
+    """Task lighting that follows an explicit occupancy timetable.
+
+    Args:
+        intervals: list of (start_hour, end_hour, lux) entries within a
+            24-hour day; entries may not overlap.
+    """
+
+    def __init__(self, intervals: List[Tuple[float, float, float]]):
+        if not intervals:
+            raise ModelParameterError("need at least one interval")
+        ordered = sorted(intervals)
+        for (s1, e1, _), (s2, _, _) in zip(ordered, ordered[1:]):
+            if s2 < e1:
+                raise ModelParameterError("occupancy intervals overlap")
+        for start, end, level in ordered:
+            if end <= start:
+                raise ModelParameterError(f"interval end {end} not after start {start}")
+            if level < 0.0:
+                raise ModelParameterError(f"lux must be >= 0, got {level!r}")
+        self.intervals = ordered
+
+    def lux(self, t: float) -> float:
+        day_hours = (t % (24.0 * HOURS)) / HOURS
+        for start, end, level in self.intervals:
+            if start <= day_hours < end:
+                return level
+        return 0.0

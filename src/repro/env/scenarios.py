@@ -1,0 +1,152 @@
+"""The paper's concrete lighting scenarios, assembled from the blocks.
+
+Two 24-hour scenarios reproduce the Fig. 2 logs:
+
+* :func:`office_desk_24h` — "on a lab desk on a Sunday (with the blinds
+  closed)": daylight leaks through closed blinds (sunrise visible),
+  the room lights run on a schedule (lights-off step at the end of the
+  day visible).
+* :func:`semi_mobile_24h` — "in a lab on a Friday, with the cell being
+  taken outdoors at lunchtime": office lighting plus a full-sun
+  excursion over lunch, "the light conditions to which a mobile sensor
+  may be exposed".
+
+Times are seconds from midnight.
+"""
+
+from __future__ import annotations
+
+from repro.env.indoor import ArtificialLighting, WindowDaylight
+from repro.env.outdoor import ClearSkySun, CloudField
+from repro.env.profiles import (
+    HOURS,
+    CompositeProfile,
+    ConstantProfile,
+    LightProfile,
+    NoisyProfile,
+    PiecewiseProfile,
+)
+
+
+def office_desk_24h(seed: int = 1) -> LightProfile:
+    """The Fig. 2 desk scenario: blinds closed, scheduled room lighting.
+
+    Args:
+        seed: noise seed (flicker and daylight variation).
+
+    Returns:
+        A profile spanning one day (wraps daily if evaluated beyond).
+    """
+    daylight = WindowDaylight(
+        peak_lux=6000.0,
+        sunrise_hour=5.8,
+        sunset_hour=20.3,
+        transmission=0.055,
+    )
+    room_lights = ArtificialLighting(level=420.0, on_hour=8.5, off_hour=21.0, warmup_seconds=120.0)
+    mix = CompositeProfile([daylight, room_lights])
+    return NoisyProfile(mix, relative_sigma=0.03, correlation_time=120.0, seed=seed)
+
+
+def semi_mobile_24h(seed: int = 2) -> LightProfile:
+    """The Fig. 2 semi-mobile scenario: lab desk, outdoors over lunch.
+
+    The lunchtime excursion (12:00-13:00) swaps the indoor mix for
+    cloudy-sky outdoor illuminance — a two-to-three-order-of-magnitude
+    step each way, the hardest case for a sampled Voc estimate.
+
+    Args:
+        seed: noise seed.
+    """
+    lab_lights = ArtificialLighting(level=520.0, on_hour=7.8, off_hour=18.5, warmup_seconds=120.0)
+    window = WindowDaylight(peak_lux=8000.0, sunrise_hour=5.8, sunset_hour=20.3, transmission=0.04)
+    indoor = NoisyProfile(
+        CompositeProfile([lab_lights, window]),
+        relative_sigma=0.03,
+        correlation_time=120.0,
+        seed=seed,
+    )
+    sun = ClearSkySun(sunrise_hour=5.8, sunset_hour=20.3, max_elevation_deg=58.0)
+    outdoor = CloudField(sun, cloudy_fraction=0.35, mean_dwell=420.0, seed=seed + 17)
+
+    class _SemiMobile(LightProfile):
+        """Indoor except for the 12:00-13:00 outdoor excursion."""
+
+        def lux(self, t: float) -> float:
+            day_t = t % (24.0 * HOURS)
+            walk = 90.0  # seconds spent walking out / in
+            lunch_start = 12.0 * HOURS
+            lunch_end = 13.0 * HOURS
+            if lunch_start <= day_t < lunch_end:
+                inside = indoor(t)
+                outside = outdoor(t)
+                if day_t < lunch_start + walk:
+                    blend = (day_t - lunch_start) / walk
+                    return inside + blend * (outside - inside)
+                if day_t >= lunch_end - walk:
+                    blend = (lunch_end - day_t) / walk
+                    return inside + blend * (outside - inside)
+                return outside
+            return indoor(t)
+
+    return _SemiMobile()
+
+
+def outdoor_day(seed: int = 3, cloudy_fraction: float = 0.3) -> LightProfile:
+    """A full outdoor day under partly-cloudy sky (for the E8 comparison).
+
+    Args:
+        seed: cloud-field seed.
+        cloudy_fraction: long-run fraction of time under cloud.
+    """
+    sun = ClearSkySun(sunrise_hour=5.8, sunset_hour=20.3, max_elevation_deg=58.0)
+    return CloudField(sun, cloudy_fraction=cloudy_fraction, mean_dwell=600.0, seed=seed)
+
+
+def constant_bench(lux: float) -> LightProfile:
+    """The bench condition: a steady artificial-light intensity (Table I).
+
+    Args:
+        lux: illuminance level.
+    """
+    return ConstantProfile(lux)
+
+
+def step_change(low_lux: float, high_lux: float, step_time: float) -> LightProfile:
+    """A single illuminance step at ``step_time`` — tracking-response tests."""
+    return PiecewiseProfile([(0.0, low_lux), (step_time, low_lux), (step_time + 1.0, high_lux)])
+
+
+class WeeklyOffice(LightProfile):
+    """A full week on the office desk: five working days, a dim weekend.
+
+    Weekdays follow :func:`office_desk_24h`; weekend days have no room
+    lighting — only the blinds-filtered daylight (the paper's Sunday
+    desk test condition).  This is the endurance scenario: the node must
+    ride the weekend trough on stored energy.
+
+    Args:
+        seed: noise seed.
+        weekend_days: which day indices (0 = Monday) are dark-office days.
+    """
+
+    def __init__(self, seed: int = 4, weekend_days: tuple = (5, 6)):
+        self.weekday = office_desk_24h(seed=seed)
+        daylight_only = WindowDaylight(
+            peak_lux=6000.0, sunrise_hour=5.8, sunset_hour=20.3, transmission=0.055
+        )
+        self.weekend = NoisyProfile(
+            daylight_only, relative_sigma=0.03, correlation_time=120.0, seed=seed + 100
+        )
+        self.weekend_days = set(weekend_days)
+
+    def lux(self, t: float) -> float:
+        day_index = int(t // (24.0 * HOURS)) % 7
+        if day_index in self.weekend_days:
+            return self.weekend(t)
+        return self.weekday(t)
+
+
+def weekly_office(seed: int = 4) -> LightProfile:
+    """Seven days of office-desk lighting with a daylight-only weekend."""
+    return WeeklyOffice(seed=seed)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelParameterError(ReproError, ValueError):
+    """A device or circuit model was constructed with invalid parameters."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A numerical solve (Newton, bisection, MNA) failed to converge."""
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class OperatingPointError(ReproError, ValueError):
+    """A requested electrical operating point is outside the device's range."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine reached an inconsistent or impossible state."""
+
+
+class ColdStartError(SimulationError):
+    """The system failed to cold-start within the allotted simulation window."""
+
+
+class TraceError(ReproError, KeyError):
+    """A requested signal trace does not exist or is malformed."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A system-level configuration is inconsistent (e.g. mismatched rails)."""

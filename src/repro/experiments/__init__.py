@@ -1,0 +1,55 @@
+"""Experiment drivers: one module per published table/figure.
+
+Each driver exposes ``run_*`` functions returning structured results and
+a ``render`` helper producing the printable rows matching the paper's
+presentation.  The benchmark harness (``benchmarks/``) calls these, as
+do the integration tests — so the numbers the benches print are the
+numbers the tests pin.
+
+| id  | paper artefact              | module        |
+|-----|-----------------------------|---------------|
+| E1  | Fig. 1 I-V curve            | ``fig1``      |
+| E2  | Fig. 2 24-h Voc logs        | ``fig2``      |
+| E3  | Sec. II-B / Eq. (2)         | ``sec2b``     |
+| E4  | Fig. 4 sampling transient   | ``fig4``      |
+| E5  | Table I tracking accuracy   | ``table1``    |
+| E6  | Sec. IV-A timing & current  | ``sec4a``     |
+| E7  | Sec. IV-B cold start        | ``sec4b``     |
+| E8  | state-of-the-art comparison | ``comparison``|
+| E9  | design-choice ablations     | ``ablation``  |
+| E10 | TEG extension               | ``teg``       |
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablation,
+    aging,
+    envelope,
+    comparison,
+    endurance,
+    fig1,
+    fig2,
+    fig4,
+    sec2b,
+    sec4a,
+    sec4b,
+    spectra,
+    table1,
+    teg,
+)
+
+__all__ = [
+    "fig1",
+    "fig2",
+    "sec2b",
+    "fig4",
+    "table1",
+    "sec4a",
+    "sec4b",
+    "comparison",
+    "ablation",
+    "teg",
+    "endurance",
+    "spectra",
+    "aging",
+    "envelope",
+]

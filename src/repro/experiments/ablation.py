@@ -1,0 +1,366 @@
+"""E9 — ablations of the design choices DESIGN.md calls out.
+
+1. **Hold period** — Eq. (2) error grows with period while sampling
+   overhead (duty loss + charge moved per sample) shrinks; the knee
+   justifies the paper's ">60 s".
+2. **k trim** — harvested power vs the divider trim ratio: the plateau
+   around the cell's true k shows why a potentiometer trim is enough.
+3. **Hold-capacitor dielectric** — droop over the 69 s hold for
+   polyester vs X7R vs electrolytic: why the paper names the dielectric.
+4. **Divider impedance** — sampled-value error (loading) and settle time
+   vs the quiescent current the divider steals: why megohms + 39 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analog.components import (
+    CERAMIC_X7R,
+    ELECTROLYTIC,
+    POLYESTER_FILM,
+    Capacitor,
+    DielectricClass,
+    ResistiveDivider,
+)
+from repro.analysis.efficiency import tracking_efficiency_of_ratio
+from repro.analysis.reporting import format_table
+from repro.analysis.sampling_error import worst_case_mean_error
+from repro.core.config import PlatformConfig
+from repro.core.sample_hold import SampleHoldCircuit
+from repro.experiments.fig2 import VocLog
+from repro.pv.cells import PVCell, am_1815
+
+
+# --- 1. hold period -----------------------------------------------------------
+
+
+@dataclass
+class HoldPeriodPoint:
+    """One hold-period trade-off point.
+
+    Attributes:
+        period_seconds: the hold period.
+        voc_error_v: Eq. (2) worst-case mean error at this period, volts.
+        duty_loss: harvesting time lost to sampling pulses.
+        overhead_energy_per_hour: sampling-event energy (divider +
+            switch transitions) per hour, joules.
+    """
+
+    period_seconds: float
+    voc_error_v: float
+    duty_loss: float
+    overhead_energy_per_hour: float
+
+
+def hold_period_tradeoff(
+    log: VocLog,
+    periods: Sequence[float] = (5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 900.0, 3600.0),
+    t_on: float = 39e-3,
+    config: PlatformConfig | None = None,
+) -> List[HoldPeriodPoint]:
+    """Sweep the hold period against a recorded Voc log."""
+    config = config if config is not None else PlatformConfig.paper_prototype()
+    sh = config.sample_hold
+    points: List[HoldPeriodPoint] = []
+    voc_typ = float(np.percentile(log.voc[log.voc > 0.5], 50)) if np.any(log.voc > 0.5) else 5.0
+    for period in periods:
+        period_samples = max(1, int(round(period / log.dt)))
+        error = worst_case_mean_error(log.voc, period_samples)
+        duty_loss = t_on / (t_on + period)
+        divider_energy = (voc_typ ** 2 / sh.divider.total_resistance) * t_on
+        switch_energy = 2 * sh.switch.spec.charge_injection * voc_typ
+        per_hour = (divider_energy + switch_energy) * (3600.0 / (t_on + period))
+        points.append(
+            HoldPeriodPoint(
+                period_seconds=period,
+                voc_error_v=error,
+                duty_loss=duty_loss,
+                overhead_energy_per_hour=per_hour,
+            )
+        )
+    return points
+
+
+def render_hold_period(points: Sequence[HoldPeriodPoint]) -> str:
+    """Printable hold-period trade-off rows."""
+    rows = [
+        [
+            f"{p.period_seconds:.0f}",
+            f"{p.voc_error_v * 1e3:.1f}",
+            f"{p.duty_loss * 100:.4f}",
+            f"{p.overhead_energy_per_hour * 1e6:.2f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["period(s)", "E_voc(mV)", "duty loss(%)", "sample energy(uJ/h)"],
+        rows,
+        title="Ablation 1 — hold period: staleness vs sampling overhead",
+    )
+
+
+# --- 2. k trim -----------------------------------------------------------------
+
+
+@dataclass
+class KTrimPoint:
+    """Tracking efficiency for one trim ratio across intensities."""
+
+    ratio: float
+    efficiency_by_lux: dict
+
+
+def k_trim_sweep(
+    cell: PVCell | None = None,
+    ratios: Sequence[float] = (0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80),
+    lux_levels: Sequence[float] = (200.0, 1000.0, 5000.0),
+) -> List[KTrimPoint]:
+    """Tracking efficiency of fixed-ratio FOCV across the trim range."""
+    cell = cell if cell is not None else am_1815()
+    return [
+        KTrimPoint(
+            ratio=ratio,
+            efficiency_by_lux={
+                lux: tracking_efficiency_of_ratio(cell, ratio, lux) for lux in lux_levels
+            },
+        )
+        for ratio in ratios
+    ]
+
+
+def render_k_trim(points: Sequence[KTrimPoint]) -> str:
+    """Printable k-trim sweep."""
+    lux_levels = sorted(points[0].efficiency_by_lux)
+    rows = [
+        [f"{p.ratio:.2f}"] + [f"{p.efficiency_by_lux[lux] * 100:.2f}" for lux in lux_levels]
+        for p in points
+    ]
+    return format_table(
+        ["k trim"] + [f"eff@{lux:.0f}lx(%)" for lux in lux_levels],
+        rows,
+        title="Ablation 2 — k-trim sensitivity (the trimming-potentiometer argument)",
+    )
+
+
+# --- 3. hold-capacitor dielectric -------------------------------------------------
+
+
+@dataclass
+class DielectricPoint:
+    """Droop behaviour of one dielectric over the hold period."""
+
+    dielectric: str
+    droop_v: float
+    droop_fraction: float
+    voc_equivalent_error_v: float
+
+
+def dielectric_sweep(
+    held_voltage: float = 1.62,
+    hold_seconds: float = 69.0,
+    capacitance: float = 1e-6,
+    alpha_times_k: float = 0.298,
+    dielectrics: Sequence[DielectricClass] = (POLYESTER_FILM, CERAMIC_X7R, ELECTROLYTIC),
+) -> List[DielectricPoint]:
+    """Droop over one hold period for each capacitor dielectric."""
+    points: List[DielectricPoint] = []
+    for dielectric in dielectrics:
+        cap = Capacitor(capacitance, dielectric=dielectric)
+        after = cap.droop(held_voltage, hold_seconds, external_bias_a=2e-12)
+        droop = held_voltage - after
+        points.append(
+            DielectricPoint(
+                dielectric=dielectric.name,
+                droop_v=droop,
+                droop_fraction=droop / held_voltage,
+                voc_equivalent_error_v=droop / alpha_times_k,
+            )
+        )
+    return points
+
+
+def render_dielectrics(points: Sequence[DielectricPoint]) -> str:
+    """Printable dielectric comparison."""
+    rows = [
+        [
+            p.dielectric,
+            f"{p.droop_v * 1e3:.2f}",
+            f"{p.droop_fraction * 100:.2f}",
+            f"{p.voc_equivalent_error_v * 1e3:.1f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["dielectric", "droop(mV)", "droop(%)", "Voc-equiv error(mV)"],
+        rows,
+        title="Ablation 3 — hold-capacitor dielectric over one 69 s hold",
+    )
+
+
+# --- 4. divider impedance ----------------------------------------------------------
+
+
+@dataclass
+class DividerPoint:
+    """Accuracy/overhead trade-off for one divider impedance."""
+
+    total_ohms: float
+    loading_error_v: float
+    settle_time_s: float
+    sample_fits_pulse: bool
+    duty_weighted_current_a: float
+
+
+def divider_impedance_sweep(
+    cell: PVCell | None = None,
+    totals: Sequence[float] = (1e6, 3e6, 10e6, 30e6, 100e6),
+    lux: float = 200.0,
+    ratio: float = 0.298,
+    t_on: float = 39e-3,
+    period: float = 69.039,
+) -> List[DividerPoint]:
+    """Sweep the divider's end-to-end resistance.
+
+    Low impedance loads the cell during the sample (error) and burns
+    current; high impedance slows the settle toward the pulse width.
+    """
+    cell = cell if cell is not None else am_1815()
+    model = cell.model_at(lux)
+    voc = model.voc()
+    points: List[DividerPoint] = []
+    for total in totals:
+        sh = SampleHoldCircuit(divider=ResistiveDivider.from_ratio(ratio, total))
+        pv_loaded, tap = sh.loaded_sample_point(model)
+        loading_error = (voc - pv_loaded) * ratio
+        # The divider tap must also settle against its own output
+        # resistance into the buffer's input capacitance (~10 pF) plus
+        # the cell's relaxation — dominated here by the cell recharging
+        # the input node through its source resistance into C2.
+        settle = 5.0 * model.source_resistance_at_voc() * 330e-9 + 5.0 * sh.settle_time_constant()
+        duty_current = (voc / total) * (t_on / period)
+        points.append(
+            DividerPoint(
+                total_ohms=total,
+                loading_error_v=loading_error,
+                settle_time_s=settle,
+                sample_fits_pulse=settle < t_on,
+                duty_weighted_current_a=duty_current,
+            )
+        )
+    return points
+
+
+def render_divider(points: Sequence[DividerPoint]) -> str:
+    """Printable divider-impedance sweep."""
+    rows = [
+        [
+            f"{p.total_ohms / 1e6:.0f}M",
+            f"{p.loading_error_v * 1e3:.2f}",
+            f"{p.settle_time_s * 1e3:.1f}",
+            "yes" if p.sample_fits_pulse else "NO",
+            f"{p.duty_weighted_current_a * 1e9:.1f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["R_total", "tap error(mV)", "settle(ms)", "fits 39ms", "avg current(nA)"],
+        rows,
+        title="Ablation 4 — divider impedance: loading vs settling vs current",
+    )
+
+
+# --- 5. step response vs hold period ---------------------------------------------
+
+
+@dataclass
+class StepResponsePoint:
+    """Harvest lost in the window after a light step, per hold period.
+
+    Attributes:
+        hold_period: seconds between samples.
+        recovery_energy_fraction: energy captured in the post-step window
+            relative to an ideal tracker over the same window.
+        worst_stale_seconds: longest stretch operating on the pre-step
+            sample.
+    """
+
+    hold_period: float
+    recovery_energy_fraction: float
+    worst_stale_seconds: float
+
+
+def step_response_sweep(
+    cell: PVCell | None = None,
+    hold_periods: Sequence[float] = (10.0, 69.0, 300.0, 1800.0),
+    low_lux: float = 300.0,
+    high_lux: float = 20000.0,
+    window: float = 3600.0,
+) -> List[StepResponsePoint]:
+    """Sweep the hold period against a 300 lux -> 20 klux step.
+
+    The mobile scenario's hardest moment is walking outdoors: until the
+    next sample, the system keeps regulating at the *indoor* setpoint.
+    This quantifies the energy cost of that staleness per hold period —
+    the dynamic face of the Eq. (2) analysis.
+
+    Expect the differences to be SMALL (a few percent): the a-Si power
+    curve is broad, so even a sample stale by half an hour lands within
+    a few percent of the fresh one — the dynamic confirmation of the
+    paper's ">60 s is justified" conclusion.  (On this cell the stale
+    *indoor* setpoint even sits slightly closer to the outdoor Vmpp than
+    the fresh 59.6 %-trim sample does, because k falls with intensity —
+    see the k-trim ablation.)
+    """
+    from repro.core.config import PlatformConfig
+    from repro.core.astable import AstableMultivibrator
+    from repro.core.system import SampleHoldMPPT
+    from repro.env.scenarios import step_change
+    from repro.sim.quasistatic import QuasiStaticSimulator
+
+    cell = cell if cell is not None else am_1815()
+    step_at = 10.0
+    points: List[StepResponsePoint] = []
+    for period in hold_periods:
+        config = PlatformConfig(
+            astable=AstableMultivibrator.from_timing(t_on=39e-3, t_off=period)
+        )
+        controller = SampleHoldMPPT(config=config, assume_started=True)
+        sim = QuasiStaticSimulator(
+            cell,
+            controller,
+            step_change(low_lux, high_lux, step_time=step_at),
+            record=False,
+        )
+        sim.run(step_at + window, dt=1.0)
+        summary = sim.summary
+        # The ideal tracker's energy over the same run.
+        fraction = summary.energy_at_cell / summary.energy_ideal
+        points.append(
+            StepResponsePoint(
+                hold_period=period,
+                recovery_energy_fraction=fraction,
+                worst_stale_seconds=min(period, window),
+            )
+        )
+    return points
+
+
+def render_step_response(points: Sequence[StepResponsePoint]) -> str:
+    """Printable step-response sweep."""
+    rows = [
+        [
+            f"{p.hold_period:.0f}",
+            f"{p.recovery_energy_fraction * 100:.2f}",
+            f"{p.worst_stale_seconds:.0f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["hold period(s)", "captured vs ideal(%)", "max staleness(s)"],
+        rows,
+        title="Ablation 5 — indoor->outdoor step response vs hold period",
+    )

@@ -1,0 +1,172 @@
+"""E12 (extension) — week-long endurance: perpetual operation indoors.
+
+The paper's purpose statement — sensor nodes "designed to operate
+indefinitely from energy harvested from their environment" — tested at
+the week scale: the full platform (trimmed), a supercapacitor store, and
+an energy-aware duty-cycled node ride five office days and a dim
+weekend.  Pass criteria: the node never hibernates into death, the store
+never empties, and the week ends with at least the charge it started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.converter.buck_boost import BuckBoostConverter
+from repro.core.config import PlatformConfig
+from repro.core.system import SampleHoldMPPT
+from repro.env.profiles import HOURS
+from repro.env.scenarios import weekly_office
+from repro.node.scheduler import EnergyAwareScheduler
+from repro.node.sensor_node import SensorNode
+from repro.pv.cells import PVCell, am_1815
+from repro.sim.quasistatic import QuasiStaticSimulator
+from repro.storage.supercap import Supercapacitor
+
+DAY = 24.0 * HOURS
+
+
+@dataclass
+class DaySummary:
+    """One day's telemetry from the endurance run."""
+
+    day: int
+    harvested_j: float
+    consumed_j: float
+    reports: int
+    store_end_v: float
+    min_store_v: float
+    hibernated: bool
+
+
+@dataclass
+class EnduranceResult:
+    """Outcome of the week-long run.
+
+    Attributes:
+        days: per-day telemetry.
+        survived: the node never lost its store entirely.
+        energy_neutral: final store >= initial store voltage.
+        total_reports: reports delivered across the week.
+    """
+
+    days: List[DaySummary]
+    initial_voltage: float
+    final_voltage: float
+    total_reports: int
+
+    @property
+    def survived(self) -> bool:
+        return all(d.min_store_v > 2.0 for d in self.days)
+
+    @property
+    def energy_neutral(self) -> bool:
+        return self.final_voltage >= self.initial_voltage - 0.05
+
+
+def run_week(
+    cell: Optional[PVCell] = None,
+    storage_farads: float = 10.0,
+    initial_voltage: float = 3.2,
+    dt: float = 10.0,
+    seed: int = 4,
+) -> EnduranceResult:
+    """Run the seven-day endurance scenario.
+
+    Args:
+        cell: harvesting cell (AM-1815 default).
+        storage_farads: supercapacitor size.
+        initial_voltage: store voltage at Monday 00:00.
+        dt: quasi-static step.
+        seed: environment seed.
+    """
+    cell = cell if cell is not None else am_1815()
+    storage = Supercapacitor(
+        capacitance=storage_farads, rated_voltage=5.0, voltage=initial_voltage
+    )
+    node = SensorNode(payload_bytes=16)
+    scheduler = EnergyAwareScheduler(
+        node=node,
+        storage=storage,
+        v_survival=2.3,
+        v_comfort=4.2,
+        min_period=30.0,
+        max_period=3600.0,
+    )
+    controller = SampleHoldMPPT(
+        config=PlatformConfig.trimmed_for_cell(cell), assume_started=True
+    )
+    sim = QuasiStaticSimulator(
+        cell,
+        controller,
+        weekly_office(seed=seed),
+        converter=BuckBoostConverter(),
+        storage=storage,
+        load=scheduler.power,
+        record=False,
+    )
+
+    days: List[DaySummary] = []
+    for day in range(7):
+        harvested_before = sim.summary.energy_delivered
+        consumed_before = sim.summary.energy_load
+        reports_before = scheduler.reports_sent
+        min_v = storage.voltage
+        hibernated = False
+        steps = int(DAY / dt)
+        for _ in range(steps):
+            sim.step(dt)
+            min_v = min(min_v, storage.voltage)
+            hibernated = hibernated or scheduler.hibernating
+        days.append(
+            DaySummary(
+                day=day,
+                harvested_j=sim.summary.energy_delivered - harvested_before,
+                consumed_j=sim.summary.energy_load - consumed_before,
+                reports=scheduler.reports_sent - reports_before,
+                store_end_v=storage.voltage,
+                min_store_v=min_v,
+                hibernated=hibernated,
+            )
+        )
+
+    return EnduranceResult(
+        days=days,
+        initial_voltage=initial_voltage,
+        final_voltage=storage.voltage,
+        total_reports=scheduler.reports_sent,
+    )
+
+
+def render(result: EnduranceResult) -> str:
+    """Printable per-day endurance table."""
+    names = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
+    rows = [
+        [
+            names[d.day],
+            f"{d.harvested_j:.2f}",
+            f"{d.consumed_j:.3f}",
+            f"{d.reports}",
+            f"{d.store_end_v:.2f}",
+            f"{d.min_store_v:.2f}",
+            "yes" if d.hibernated else "no",
+        ]
+        for d in result.days
+    ]
+    verdict = (
+        f"survived: {'yes' if result.survived else 'NO'}; "
+        f"energy-neutral: {'yes' if result.energy_neutral else 'NO'} "
+        f"({result.initial_voltage:.2f} V -> {result.final_voltage:.2f} V); "
+        f"{result.total_reports} reports"
+    )
+    return (
+        format_table(
+            ["day", "harvest(J)", "load(J)", "reports", "V_end", "V_min", "hibernated"],
+            rows,
+            title="E12 — one week on the office desk (trimmed S&H platform)",
+        )
+        + "\n"
+        + verdict
+    )

@@ -1,0 +1,104 @@
+"""E15 (extension) — the operating envelope: efficiency over (lux, T).
+
+The paper's title claims indoor *and* outdoor operation; this experiment
+maps it: tracking efficiency of the S&H FOCV system (at a given trim)
+over the full illuminance x cell-temperature plane, from a gloomy
+corridor to a sun-baked dashboard.  The map shows where the fixed trim's
+plateau lies, where it falls off, and that the system keeps harvesting
+(if suboptimally) everywhere the cell produces power at all — there is
+no cliff, which is what "works indoors and outdoors" requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.efficiency import tracking_efficiency_of_ratio
+from repro.analysis.reporting import format_table
+from repro.pv.cells import PVCell, am_1815
+from repro.units import T_STC
+
+
+@dataclass
+class EnvelopeMap:
+    """Tracking-efficiency map over the (lux, temperature) plane.
+
+    Attributes:
+        lux_levels: illuminance axis.
+        temperatures_c: cell-temperature axis, celsius.
+        efficiency: 2-D array [temperature, lux] of tracking efficiency.
+        ratio: the FOCV trim evaluated.
+    """
+
+    lux_levels: np.ndarray
+    temperatures_c: np.ndarray
+    efficiency: np.ndarray
+    ratio: float
+
+    @property
+    def worst(self) -> float:
+        """The worst efficiency anywhere on the map."""
+        return float(np.min(self.efficiency))
+
+    @property
+    def best(self) -> float:
+        """The best efficiency anywhere on the map."""
+        return float(np.max(self.efficiency))
+
+
+def run_envelope(
+    cell: Optional[PVCell] = None,
+    ratio: float = 0.5955,
+    lux_levels: Sequence[float] = (100.0, 300.0, 1000.0, 3000.0, 10000.0, 30000.0, 100000.0),
+    temperatures_c: Sequence[float] = (0.0, 25.0, 40.0, 55.0),
+) -> EnvelopeMap:
+    """Map FOCV tracking efficiency over the operating envelope.
+
+    Args:
+        cell: the harvesting cell.
+        ratio: the fixed FOCV trim (the paper prototype's 59.55 % by
+            default).
+        lux_levels: illuminance axis.
+        temperatures_c: cell-temperature axis, celsius.
+    """
+    cell = cell if cell is not None else am_1815()
+    lux_array = np.asarray(lux_levels, dtype=float)
+    temp_array = np.asarray(temperatures_c, dtype=float)
+    grid = np.empty((len(temp_array), len(lux_array)))
+    for i, temp_c in enumerate(temp_array):
+        for j, lux in enumerate(lux_array):
+            grid[i, j] = tracking_efficiency_of_ratio(
+                cell, ratio, float(lux), temperature=T_STC + temp_c - 25.0
+            )
+    return EnvelopeMap(
+        lux_levels=lux_array,
+        temperatures_c=temp_array,
+        efficiency=grid,
+        ratio=ratio,
+    )
+
+
+def render(envelope: EnvelopeMap) -> str:
+    """Printable (temperature x lux) efficiency table."""
+    headers = ["T(degC) \\ lux"] + [f"{lux:g}" for lux in envelope.lux_levels]
+    rows: List[List[str]] = []
+    for i, temp in enumerate(envelope.temperatures_c):
+        rows.append(
+            [f"{temp:.0f}"] + [f"{eff * 100:.1f}" for eff in envelope.efficiency[i]]
+        )
+    footer = (
+        f"trim k = {envelope.ratio * 100:.2f} %; "
+        f"efficiency range {envelope.worst * 100:.1f}..{envelope.best * 100:.1f} %"
+    )
+    return (
+        format_table(
+            headers,
+            rows,
+            title="E15 — operating envelope: FOCV tracking efficiency (%)",
+        )
+        + "\n"
+        + footer
+    )

@@ -1,0 +1,100 @@
+"""E1 / Fig. 1 — I-V curve of the Schott Solar 1116929 under artificial
+light, with the MPP at 1000 lux marked.
+
+The paper's figure is a single measured curve with a dashed line at the
+MPP.  The driver sweeps the calibrated Schott model at 1000 lux (plus
+context intensities) and locates each MPP, so the bench can print the
+curve as a series and assert its shape (k ~ 0.6, monotone current,
+unimodal power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.pv.cells import PVCell, schott_1116929
+from repro.pv.irradiance import FLUORESCENT
+from repro.pv.single_diode import MPPResult
+
+
+@dataclass
+class IVCurveResult:
+    """One intensity's curve and its MPP.
+
+    Attributes:
+        lux: intensity.
+        voltages: sweep voltages, volts.
+        currents: cell currents, amps.
+        powers: cell powers, watts.
+        mpp: the located maximum power point.
+    """
+
+    lux: float
+    voltages: np.ndarray
+    currents: np.ndarray
+    powers: np.ndarray
+    mpp: MPPResult
+
+
+def run_iv_curves(
+    cell: PVCell | None = None,
+    lux_levels: Sequence[float] = (200.0, 500.0, 1000.0, 2000.0),
+    points: int = 120,
+) -> Dict[float, IVCurveResult]:
+    """Sweep the I-V curve at each intensity under artificial light."""
+    cell = cell if cell is not None else schott_1116929()
+    results: Dict[float, IVCurveResult] = {}
+    for lux in lux_levels:
+        model = cell.model_at(lux, source=FLUORESCENT)
+        voltages, currents = model.iv_curve(points=points)
+        results[lux] = IVCurveResult(
+            lux=lux,
+            voltages=voltages,
+            currents=currents,
+            powers=voltages * currents,
+            mpp=model.mpp(),
+        )
+    return results
+
+
+def render(results: Dict[float, IVCurveResult], highlight_lux: float = 1000.0) -> str:
+    """Printable summary: per-intensity characteristic points plus the
+    highlighted 1000-lux curve as (V, I, P) rows."""
+    rows: List[List[str]] = []
+    for lux in sorted(results):
+        r = results[lux]
+        rows.append(
+            [
+                f"{lux:.0f}",
+                f"{r.mpp.voc:.3f}",
+                f"{r.mpp.isc * 1e6:.1f}",
+                f"{r.mpp.voltage:.3f}",
+                f"{r.mpp.current * 1e6:.1f}",
+                f"{r.mpp.power * 1e6:.1f}",
+                f"{r.mpp.k * 100:.1f}",
+                f"{r.mpp.fill_factor:.3f}",
+            ]
+        )
+    summary = format_table(
+        ["lux", "Voc(V)", "Isc(uA)", "Vmpp(V)", "Impp(uA)", "Pmpp(uW)", "k(%)", "FF"],
+        rows,
+        title="Fig.1 — Schott 1116929 I-V characteristics (artificial light)",
+    )
+
+    r = results[highlight_lux]
+    step = max(1, len(r.voltages) // 16)
+    curve_rows = [
+        [f"{v:.3f}", f"{i * 1e6:.1f}", f"{p * 1e6:.1f}"]
+        for v, i, p in zip(r.voltages[::step], r.currents[::step], r.powers[::step])
+    ]
+    curve = format_table(
+        ["V(V)", "I(uA)", "P(uW)"],
+        curve_rows,
+        title=f"\nFig.1 curve at {highlight_lux:.0f} lux "
+        f"(MPP dashed at V={r.mpp.voltage:.3f} V, I={r.mpp.current * 1e6:.1f} uA)",
+    )
+    return summary + "\n" + curve

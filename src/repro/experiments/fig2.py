@@ -1,0 +1,198 @@
+"""E2 / Fig. 2 — 24-hour open-circuit-voltage logs.
+
+Two scenarios, as in the paper: the blinds-closed office desk (sunrise
+and lights-off clearly visible in the Voc record) and the semi-mobile
+day (outdoors over lunch).  The driver samples the environment, maps
+lux to the cell's Voc, and returns both records; the Sec. II-B analysis
+(E3) consumes exactly these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.env.profiles import HOURS, SampledProfile
+from repro.env.scenarios import office_desk_24h, semi_mobile_24h
+from repro.pv.cells import PVCell, schott_1116929
+from repro.pv.irradiance import DAYLIGHT, FLUORESCENT
+
+
+@dataclass
+class VocLog:
+    """A 24-hour Voc record.
+
+    Attributes:
+        name: scenario label.
+        times: sample times, seconds from midnight.
+        lux: illuminance record.
+        voc: open-circuit-voltage record, volts.
+        dt: sample interval, seconds.
+    """
+
+    name: str
+    times: np.ndarray
+    lux: np.ndarray
+    voc: np.ndarray
+    dt: float
+
+    def to_csv(self, path) -> None:
+        """Persist the log as ``time,lux,voc`` CSV (plottable, reloadable)."""
+        with open(path, "w") as handle:
+            handle.write(f"# voc-log name={self.name} dt={self.dt:g}\n")
+            handle.write("time,lux,voc\n")
+            for t, lux, voc in zip(self.times, self.lux, self.voc):
+                handle.write(f"{t:.6g},{lux:.6g},{voc:.6g}\n")
+
+    @classmethod
+    def from_csv(cls, path, name: str | None = None) -> "VocLog":
+        """Load a log written by :meth:`to_csv` — or any real measured
+        ``time,lux,voc`` record, which is exactly what the Sec. II-B
+        analysis wants to consume for *your* deployment site.
+
+        The record must be uniformly sampled (Eq. (2) is defined over a
+        uniform grid); the interval is inferred from the first two rows.
+        """
+        import csv as _csv
+
+        header_name = "imported"
+        times, lux, voc = [], [], []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if "name=" in line:
+                        header_name = line.split("name=")[1].split()[0]
+                    continue
+                if line.startswith("time"):
+                    continue
+                parts = line.split(",")
+                times.append(float(parts[0]))
+                lux.append(float(parts[1]))
+                voc.append(float(parts[2]))
+        if len(times) < 2:
+            raise ValueError(f"log {path!r} has fewer than two samples")
+        t = np.asarray(times)
+        steps = np.diff(t)
+        dt = float(steps[0])
+        if not np.allclose(steps, dt, rtol=1e-6, atol=1e-9):
+            raise ValueError(f"log {path!r} is not uniformly sampled")
+        return cls(
+            name=name if name is not None else header_name,
+            times=t,
+            lux=np.asarray(lux),
+            voc=np.asarray(voc),
+            dt=dt,
+        )
+
+
+def _voc_of_lux(cell: PVCell, lux: float, outdoor_threshold: float = 2000.0) -> float:
+    """Voc for a lux level, switching spectrum indoors/outdoors.
+
+    Above ``outdoor_threshold`` the light is treated as daylight (the
+    lunchtime excursion), below as the office's fluorescent mix — the
+    same spectral shift a real mobile cell sees.
+    """
+    if lux <= 0.0:
+        return 0.0
+    source = DAYLIGHT if lux > outdoor_threshold else FLUORESCENT
+    return cell.voc(lux, source=source)
+
+
+def run_log(
+    scenario: str = "desk",
+    cell: PVCell | None = None,
+    dt: float = 10.0,
+    seed: int = 1,
+) -> VocLog:
+    """Record one 24-hour Voc log.
+
+    Args:
+        scenario: ``"desk"`` or ``"semi-mobile"``.
+        cell: the logging cell (paper: the Schott module).
+        dt: sample interval, seconds.
+        seed: environment noise seed.
+    """
+    cell = cell if cell is not None else schott_1116929()
+    if scenario == "desk":
+        profile = office_desk_24h(seed=seed)
+    elif scenario == "semi-mobile":
+        profile = semi_mobile_24h(seed=seed)
+    else:
+        raise ValueError(f"unknown scenario {scenario!r} (want 'desk' or 'semi-mobile')")
+
+    sampled = SampledProfile(profile, duration=24.0 * HOURS, dt=dt)
+    # Voc is monotone in lux; cache on rounded lux to keep 24 h cheap.
+    cache: dict = {}
+
+    def voc_cached(lux: float) -> float:
+        key = round(lux, 1)
+        value = cache.get(key)
+        if value is None:
+            value = _voc_of_lux(cell, lux)
+            cache[key] = value
+        return value
+
+    voc = np.array([voc_cached(v) for v in sampled.values])
+    return VocLog(name=scenario, times=sampled.times, lux=sampled.values, voc=voc, dt=dt)
+
+
+def run_both(dt: float = 10.0) -> tuple:
+    """Both Fig. 2 logs: (desk, semi_mobile)."""
+    return run_log("desk", dt=dt), run_log("semi-mobile", dt=dt)
+
+
+def detect_events(log: VocLog) -> dict:
+    """Locate the human-identifiable events the paper points at.
+
+    Returns a dict with ``sunrise`` (first sustained Voc rise from the
+    overnight floor) and ``lights_off`` (last large downward step),
+    seconds from midnight; None when not present.
+    """
+    voc = log.voc
+    floor = np.percentile(voc, 5)
+    ceiling = np.percentile(voc, 95)
+    if ceiling - floor < 0.1:
+        return {"sunrise": None, "lights_off": None}
+    rise_level = floor + 0.2 * (ceiling - floor)
+    above = voc > rise_level
+    sunrise = None
+    for i in range(len(above)):
+        if above[i] and above[min(i + 5, len(above) - 1)]:
+            sunrise = float(log.times[i])
+            break
+    lights_off = None
+    steps = np.diff(voc)
+    big_drops = np.nonzero(steps < -0.15 * (ceiling - floor))[0]
+    if big_drops.size:
+        lights_off = float(log.times[big_drops[-1] + 1])
+    return {"sunrise": sunrise, "lights_off": lights_off}
+
+
+def render(log: VocLog, rows: int = 24) -> str:
+    """Printable hourly summary of a log."""
+    edges = np.linspace(0, len(log.times) - 1, rows + 1).astype(int)
+    table_rows = []
+    for a, b in zip(edges[:-1], edges[1:]):
+        hour = log.times[a] / HOURS
+        table_rows.append(
+            [
+                f"{hour:04.1f}",
+                f"{np.mean(log.lux[a:b]):.0f}",
+                f"{np.mean(log.voc[a:b]):.3f}",
+                f"{np.min(log.voc[a:b]):.3f}",
+                f"{np.max(log.voc[a:b]):.3f}",
+            ]
+        )
+    events = detect_events(log)
+    title = f"Fig.2 — 24 h Voc log, scenario '{log.name}'"
+    if events["sunrise"] is not None:
+        title += f"  [sunrise ~{events['sunrise'] / HOURS:.1f} h"
+        if events["lights_off"] is not None:
+            title += f", lights-off ~{events['lights_off'] / HOURS:.1f} h"
+        title += "]"
+    return format_table(["hour", "lux", "Voc mean", "Voc min", "Voc max"], table_rows, title=title)

@@ -1,0 +1,179 @@
+"""E7 / Sec. IV-B — cold-start evaluation.
+
+"The cold-start of the system has been observed down to light levels of
+200 lux ... The system has been shown to cold-start and quickly generate
+a signal on the PULSE line to initiate the first measurement of the
+open-circuit voltage."
+
+The driver runs the self-powered transient platform from a completely
+dead state at a given intensity and records the milestones: C1 reaching
+the turn-on threshold, the first PULSE, and ACTIVE releasing the
+converter.  A sweep then finds the minimum intensity at which cold-start
+completes within a time budget — the paper's 200 lux floor was its
+bench's, not the circuit's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.config import PlatformConfig
+from repro.core.platform_transient import TransientPlatform
+from repro.errors import ColdStartError
+from repro.pv.cells import PVCell, am_1815
+
+
+@dataclass
+class ColdStartResult:
+    """Milestones of one cold-start run.
+
+    Attributes:
+        lux: test intensity.
+        t_powered: time for C1 to wake the metrology, seconds.
+        t_first_pulse: time of the first PULSE rising edge, seconds.
+        t_active: time ACTIVE first released the converter, seconds.
+        succeeded: whether the run completed within its budget.
+    """
+
+    lux: float
+    t_powered: float
+    t_first_pulse: float
+    t_active: float
+    succeeded: bool
+
+
+def run_cold_start(
+    lux: float,
+    cell: PVCell | None = None,
+    config: PlatformConfig | None = None,
+    dt: float = 2e-4,
+    timeout: float = 120.0,
+) -> ColdStartResult:
+    """Cold-start the platform from dead at one intensity.
+
+    Raises:
+        ColdStartError: if the metrology never wakes within ``timeout``.
+    """
+    cell = cell if cell is not None else am_1815()
+    config = config if config is not None else PlatformConfig.paper_prototype()
+    config.coldstart.reset()
+    config.astable.reset()
+    config.sample_hold.reset()
+    platform = TransientPlatform(cell=cell, lux=lux, config=config, self_powered=True)
+
+    t_powered = t_first_pulse = t_active = float("nan")
+    t = 0.0
+    steps = int(timeout / dt)
+    was_pulse = False
+    for _ in range(steps):
+        platform.advance(t, dt)
+        t += dt
+        signals = platform.signals()
+        if t_powered != t_powered and config.coldstart.powered:
+            t_powered = t
+        pulse_high = signals["PULSE"] > config.coldstart.turn_off_voltage / 2.0
+        if t_first_pulse != t_first_pulse and pulse_high and not was_pulse:
+            t_first_pulse = t
+        was_pulse = pulse_high
+        if t_active != t_active and signals["ACTIVE"] > 0.0:
+            t_active = t
+        if t_active == t_active:
+            break
+
+    if t_powered != t_powered:
+        raise ColdStartError(
+            f"metrology did not wake within {timeout} s at {lux} lux "
+            f"(C1 reached {config.coldstart.voltage:.2f} V)"
+        )
+    return ColdStartResult(
+        lux=lux,
+        t_powered=t_powered,
+        t_first_pulse=t_first_pulse,
+        t_active=t_active,
+        succeeded=t_active == t_active,
+    )
+
+
+def run_sweep(
+    lux_levels: Sequence[float] = (100.0, 200.0, 500.0, 1000.0, 5000.0),
+    cell: PVCell | None = None,
+    dt: float = 2e-4,
+    timeout: float = 120.0,
+) -> List[ColdStartResult]:
+    """Cold-start at several intensities; failures become non-succeeded rows."""
+    results: List[ColdStartResult] = []
+    for lux in lux_levels:
+        try:
+            results.append(run_cold_start(lux, cell=cell, dt=dt, timeout=timeout))
+        except ColdStartError:
+            results.append(
+                ColdStartResult(
+                    lux=lux,
+                    t_powered=float("nan"),
+                    t_first_pulse=float("nan"),
+                    t_active=float("nan"),
+                    succeeded=False,
+                )
+            )
+    return results
+
+
+def minimum_cold_start_lux(
+    cell: PVCell | None = None,
+    lo: float = 5.0,
+    hi: float = 500.0,
+    timeout: float = 120.0,
+    tolerance: float = 1.1,
+) -> float:
+    """Bisect for the lowest intensity at which cold start completes.
+
+    Uses the quasi-static cold-start estimator for the bracket, then the
+    transient platform to confirm — the reported value is the lowest
+    *confirmed* intensity (geometric tolerance ``tolerance``).
+    """
+    cell = cell if cell is not None else am_1815()
+
+    def succeeds(lux: float) -> bool:
+        try:
+            result = run_cold_start(lux, cell=cell, dt=1e-3, timeout=timeout)
+        except ColdStartError:
+            return False
+        return result.succeeded
+
+    if succeeds(lo):
+        return lo
+    if not succeeds(hi):
+        return float("inf")
+    low, high = lo, hi
+    while high / low > tolerance:
+        mid = (low * high) ** 0.5
+        if succeeds(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def render(results: Sequence[ColdStartResult]) -> str:
+    """Printable cold-start milestone table."""
+    rows = []
+    for r in results:
+        if r.succeeded:
+            rows.append(
+                [
+                    f"{r.lux:.0f}",
+                    f"{r.t_powered:.2f}",
+                    f"{r.t_first_pulse:.2f}",
+                    f"{r.t_active:.2f}",
+                    "yes",
+                ]
+            )
+        else:
+            rows.append([f"{r.lux:.0f}", "-", "-", "-", "no"])
+    return format_table(
+        ["lux", "t_powered(s)", "t_first_PULSE(s)", "t_ACTIVE(s)", "cold-started"],
+        rows,
+        title="Sec.IV-B — cold start from a dead system (paper floor: 200 lux)",
+    )

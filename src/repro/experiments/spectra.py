@@ -1,0 +1,167 @@
+"""E13 (extension) — lighting-environment diversity: the body-worn claim.
+
+"This represents an important contribution, in particular for sensors
+which may be exposed to different types of lighting (such as body-worn
+or mobile sensors)."  A mobile cell doesn't just see different
+intensities; it moves between *environments* — office fluorescent,
+retail LED, domestic incandescent, outdoor sun on a heated cell — each
+putting Voc (and the MPP) somewhere else.  FOCV re-references itself at
+every sample; a fixed setpoint tuned at the factory for one environment
+is wrong in the others.
+
+The driver evaluates, per environment (source spectrum, typical
+illuminance, cell temperature): the cell's Voc and MPP, the S&H
+system's operating point, and the tracking efficiency of (a) the FOCV
+system and (b) a fixed voltage tuned for the office condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.core.config import PlatformConfig
+from repro.pv.cells import PVCell, am_1815
+from repro.pv.irradiance import DAYLIGHT, FLUORESCENT, INCANDESCENT, WHITE_LED, LightSource
+from repro.units import T_STC
+
+
+@dataclass(frozen=True)
+class LightingEnvironment:
+    """One environment a body-worn cell passes through.
+
+    Attributes:
+        name: label for the report.
+        source: the light source spectrum.
+        lux: typical illuminance there.
+        cell_temperature: typical cell temperature, kelvin (a sun-loaded
+            cell runs hot; indoor cells sit at ambient).
+    """
+
+    name: str
+    source: LightSource
+    lux: float
+    cell_temperature: float = T_STC
+
+
+BODY_WORN_ENVIRONMENTS = (
+    LightingEnvironment("office-fluorescent", FLUORESCENT, 500.0, T_STC),
+    LightingEnvironment("retail-LED", WHITE_LED, 1000.0, T_STC),
+    LightingEnvironment("domestic-incandescent", INCANDESCENT, 150.0, T_STC + 5.0),
+    LightingEnvironment("outdoor-shade", DAYLIGHT, 5000.0, T_STC + 8.0),
+    LightingEnvironment("outdoor-sun", DAYLIGHT, 60000.0, T_STC + 28.0),
+)
+"""The environments a body-worn sensor cycles through in a day."""
+
+
+@dataclass
+class SpectrumPoint:
+    """One environment's outcome.
+
+    Attributes:
+        environment: the environment label.
+        voc: cell open-circuit voltage, volts.
+        vmpp: true MPP voltage, volts.
+        pmpp: true MPP power, watts.
+        focv_voltage: where the office-trimmed S&H operates, volts.
+        focv_efficiency: its fraction of MPP power.
+        paper_trim_efficiency: the same S&H with the paper's 59.6 % trim
+            (the mixed-use compromise), fraction of MPP power.
+        fixed_voltage: the office-tuned fixed setpoint, volts.
+        fixed_efficiency: the fixed technique's fraction of MPP power.
+    """
+
+    environment: str
+    voc: float
+    vmpp: float
+    pmpp: float
+    focv_voltage: float
+    focv_efficiency: float
+    paper_trim_efficiency: float
+    fixed_voltage: float
+    fixed_efficiency: float
+
+
+def run_spectra(
+    cell: Optional[PVCell] = None,
+    environments: Sequence[LightingEnvironment] = BODY_WORN_ENVIRONMENTS,
+    config: Optional[PlatformConfig] = None,
+) -> List[SpectrumPoint]:
+    """Evaluate FOCV vs office-tuned fixed voltage across environments.
+
+    Args:
+        cell: device under test.
+        environments: the environments to visit.
+        config: platform build (trimmed for the cell at the office
+            condition by default — the factory trim).
+    """
+    import copy
+
+    cell = cell if cell is not None else am_1815()
+    office = environments[0]
+    config = (
+        config
+        if config is not None
+        else PlatformConfig.trimmed_for_cell(cell, lux=office.lux)
+    )
+    fixed_setpoint = cell.mpp(
+        office.lux, source=office.source, temperature=office.cell_temperature
+    ).voltage
+
+    points: List[SpectrumPoint] = []
+    for env in environments:
+        model = cell.model_at(env.lux, source=env.source, temperature=env.cell_temperature)
+        mpp = model.mpp()
+        if mpp.power <= 0.0:
+            continue
+
+        sample_hold = copy.deepcopy(config.sample_hold)
+        sample_hold.sample(model, config.astable.t_on)
+        held = sample_hold.held_sample
+        v_focv = min(config.operating_point_from_held(held), mpp.voc * 0.9999)
+        p_focv = float(model.power_at(v_focv)) if v_focv > 0 else 0.0
+
+        # The paper's actual trim (k = 59.6 %): the mixed-use compromise.
+        v_paper = min(0.5955 * mpp.voc, mpp.voc * 0.9999)
+        p_paper = float(model.power_at(v_paper))
+
+        p_fixed = float(model.power_at(fixed_setpoint)) if fixed_setpoint < mpp.voc else 0.0
+        points.append(
+            SpectrumPoint(
+                environment=env.name,
+                voc=mpp.voc,
+                vmpp=mpp.voltage,
+                pmpp=mpp.power,
+                focv_voltage=v_focv,
+                focv_efficiency=p_focv / mpp.power,
+                paper_trim_efficiency=max(0.0, p_paper) / mpp.power,
+                fixed_voltage=fixed_setpoint,
+                fixed_efficiency=max(0.0, p_fixed) / mpp.power,
+            )
+        )
+    return points
+
+
+def render(points: Sequence[SpectrumPoint]) -> str:
+    """Printable environment-diversity table."""
+    rows = [
+        [
+            p.environment,
+            f"{p.voc:.3f}",
+            f"{p.vmpp:.3f}",
+            f"{p.pmpp * 1e6:.0f}",
+            f"{p.focv_voltage:.3f}",
+            f"{p.focv_efficiency * 100:.1f}",
+            f"{p.paper_trim_efficiency * 100:.1f}",
+            f"{p.fixed_efficiency * 100:.1f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["environment", "Voc(V)", "Vmpp(V)", "Pmpp(uW)", "FOCV op(V)",
+         "FOCV@office(%)", "FOCV@59.6%(%)", "fixed eff(%)"],
+        rows,
+        title="E13 — body-worn lighting diversity (fixed setpoint factory-tuned "
+        "for the office)",
+    )

@@ -1,0 +1,23 @@
+"""Wireless sensor node load models.
+
+The harvesting platform exists to power a duty-cycled sensor node; the
+examples and the energy-neutrality analyses need a realistic load.  The
+model is state-machine based: sleep / sense / process / transmit states
+with per-state currents, a radio energy model for packets, and a
+composed :class:`SensorNode` usable as the quasi-static engine's
+``load`` callable.
+"""
+
+from repro.node.radio import RadioModel, LOW_POWER_RADIO
+from repro.node.loads import DutyCycledLoad, NodeState
+from repro.node.sensor_node import SensorNode
+from repro.node.scheduler import EnergyAwareScheduler
+
+__all__ = [
+    "RadioModel",
+    "LOW_POWER_RADIO",
+    "DutyCycledLoad",
+    "NodeState",
+    "SensorNode",
+    "EnergyAwareScheduler",
+]

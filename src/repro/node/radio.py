@@ -1,0 +1,69 @@
+"""Radio energy model for a low-power wireless sensor node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """An 802.15.4-class radio's energy behaviour.
+
+    Attributes:
+        name: part designation.
+        tx_current: transmit current, amps.
+        rx_current: receive/listen current, amps.
+        startup_time: crystal/PLL startup before each exchange, seconds.
+        startup_current: current during startup, amps.
+        bitrate: over-the-air bitrate, bits/second.
+        supply: radio rail, volts.
+    """
+
+    name: str
+    tx_current: float
+    rx_current: float
+    startup_time: float = 1.5e-3
+    startup_current: float = 6e-3
+    bitrate: float = 250e3
+    supply: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.tx_current <= 0.0 or self.rx_current <= 0.0:
+            raise ModelParameterError("tx and rx currents must be positive")
+        if self.bitrate <= 0.0:
+            raise ModelParameterError(f"bitrate must be positive, got {self.bitrate!r}")
+        if self.supply <= 0.0:
+            raise ModelParameterError(f"supply must be positive, got {self.supply!r}")
+
+    def packet_airtime(self, payload_bytes: int, overhead_bytes: int = 23) -> float:
+        """Seconds on air for one packet (payload + PHY/MAC overhead)."""
+        if payload_bytes < 0:
+            raise ModelParameterError(f"payload_bytes must be >= 0, got {payload_bytes!r}")
+        bits = 8 * (payload_bytes + overhead_bytes)
+        return bits / self.bitrate
+
+    def transmit_energy(self, payload_bytes: int, ack_listen_time: float = 2e-3) -> float:
+        """Energy (joules) for one transmit: startup + TX + ACK listen."""
+        airtime = self.packet_airtime(payload_bytes)
+        energy = self.startup_time * self.startup_current * self.supply
+        energy += airtime * self.tx_current * self.supply
+        energy += ack_listen_time * self.rx_current * self.supply
+        return energy
+
+    def transaction_time(self, payload_bytes: int, ack_listen_time: float = 2e-3) -> float:
+        """Wall-clock time (seconds) for one transmit transaction."""
+        return self.startup_time + self.packet_airtime(payload_bytes) + ack_listen_time
+
+
+LOW_POWER_RADIO = RadioModel(
+    name="802.15.4-class",
+    tx_current=11e-3,
+    rx_current=13e-3,
+    startup_time=1.5e-3,
+    startup_current=6e-3,
+    bitrate=250e3,
+    supply=3.0,
+)
+"""A CC2420/AT86RF231-class low-power radio."""

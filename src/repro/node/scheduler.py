@@ -1,0 +1,146 @@
+"""Energy-aware duty-cycle adaptation for the harvesting-powered node.
+
+The point of an energy-harvesting WSN node is perpetual operation: the
+node must spend, on average, no more than it harvests.  This scheduler
+implements the standard storage-referenced control: the report period
+stretches or shrinks with the energy store's state of charge, bounded by
+application limits, so the node rides through nights and dark days and
+spends surplus when the store is comfortable.
+
+It composes with the quasi-static engine as a ``load`` callable, and the
+``adaptive_node.py`` example runs it through the office-desk day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ModelParameterError
+from repro.node.sensor_node import SensorNode
+
+
+@dataclass
+class EnergyAwareScheduler:
+    """Storage-referenced report-period controller.
+
+    The controller maps the store's voltage onto a report period:
+
+    * below ``v_survival`` — hibernate (sleep floor only);
+    * between ``v_survival`` and ``v_comfort`` — period interpolates
+      (logarithmically) from ``max_period`` down to ``min_period``;
+    * above ``v_comfort`` — run at ``min_period`` (spend the surplus).
+
+    Attributes:
+        node: the sensor node whose duty cycle is controlled.
+        storage: the energy store observed (anything with ``.voltage``).
+        v_survival: hibernation threshold, volts.
+        v_comfort: full-rate threshold, volts.
+        min_period: fastest report period, seconds.
+        max_period: slowest report period, seconds.
+        update_interval: how often the period is re-evaluated, seconds.
+    """
+
+    node: SensorNode
+    storage: object
+    v_survival: float = 2.2
+    v_comfort: float = 4.0
+    min_period: float = 30.0
+    max_period: float = 1800.0
+    update_interval: float = 60.0
+
+    _current_period: float = field(default=0.0, repr=False)
+    _next_update: float = field(default=0.0, repr=False)
+    _hibernating: bool = field(default=False, repr=False)
+    _reports_sent: int = field(default=0, repr=False)
+    _next_report: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.v_survival >= self.v_comfort:
+            raise ModelParameterError("v_survival must be below v_comfort")
+        if self.min_period >= self.max_period:
+            raise ModelParameterError("min_period must be below max_period")
+        if self.update_interval <= 0.0:
+            raise ModelParameterError("update_interval must be positive")
+        self._current_period = self.max_period
+
+    # --- policy ------------------------------------------------------------------
+
+    def period_for_voltage(self, voltage: float) -> Optional[float]:
+        """The report period commanded at a given store voltage.
+
+        Returns None for hibernation.
+        """
+        if voltage < self.v_survival:
+            return None
+        if voltage >= self.v_comfort:
+            return self.min_period
+        import math
+
+        # Logarithmic interpolation: period shrinks fast once the store
+        # is demonstrably above survival.
+        fraction = (voltage - self.v_survival) / (self.v_comfort - self.v_survival)
+        log_period = math.log(self.max_period) + fraction * (
+            math.log(self.min_period) - math.log(self.max_period)
+        )
+        return math.exp(log_period)
+
+    # --- observables --------------------------------------------------------------
+
+    @property
+    def current_period(self) -> float:
+        """The report period currently in force, seconds."""
+        return self._current_period
+
+    @property
+    def hibernating(self) -> bool:
+        """Whether the node is in survival hibernation."""
+        return self._hibernating
+
+    @property
+    def reports_sent(self) -> int:
+        """Reports transmitted so far."""
+        return self._reports_sent
+
+    # --- load interface --------------------------------------------------------------
+
+    def power(self, t: float) -> float:
+        """Instantaneous node power (watts) — the simulator's load hook.
+
+        Re-evaluates the policy every ``update_interval``; between
+        reports the node sleeps; each report costs the node's per-report
+        energy spread over its active time.
+        """
+        if t >= self._next_update:
+            voltage = getattr(self.storage, "voltage", self.v_comfort)
+            period = self.period_for_voltage(voltage)
+            if period is None:
+                self._hibernating = True
+            else:
+                was_hibernating = self._hibernating
+                self._hibernating = False
+                self._current_period = period
+                if was_hibernating:
+                    self._next_report = t + period
+            self._next_update = t + self.update_interval
+
+        if self._hibernating:
+            return self.node.sleep_power
+
+        if t >= self._next_report:
+            self._reports_sent += 1
+            self._next_report = t + self._current_period
+            # Report energy as an impulse spread over the update tick the
+            # quasi-static engine will integrate (dt-scale accuracy).
+            return self.node.sleep_power + self.node.energy_per_report() / self.update_interval
+
+        return self.node.sleep_power
+
+    __call__ = power
+
+    def average_power_at(self, voltage: float) -> float:
+        """Steady-state average power if the store sat at ``voltage``."""
+        period = self.period_for_voltage(voltage)
+        if period is None:
+            return self.node.sleep_power
+        return self.node.sleep_power + self.node.energy_per_report() / period

@@ -1,0 +1,89 @@
+"""A composed wireless sensor node: MCU + sensor + radio duty cycle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+from repro.node.loads import DutyCycledLoad, NodeState
+from repro.node.radio import LOW_POWER_RADIO, RadioModel
+
+
+@dataclass
+class SensorNode:
+    """A periodic sense-process-transmit sensor node.
+
+    Builds its :class:`~repro.node.loads.DutyCycledLoad` from part-level
+    parameters, so examples can ask "what report period is energy-neutral
+    at 300 lux?" with honest numbers.
+
+    Attributes:
+        report_period: seconds between measurement reports.
+        payload_bytes: bytes of sensor payload per report.
+        radio: the radio model.
+        mcu_active_current: MCU run current, amps.
+        mcu_supply: MCU rail, volts.
+        sense_time: sensor acquisition time, seconds.
+        sense_power: sensor acquisition power, watts.
+        process_time: MCU processing time per report, seconds.
+        sleep_power: whole-node sleep floor, watts.
+    """
+
+    report_period: float = 60.0
+    payload_bytes: int = 12
+    radio: RadioModel = field(default_factory=lambda: LOW_POWER_RADIO)
+    mcu_active_current: float = 1.8e-3
+    mcu_supply: float = 3.0
+    sense_time: float = 5e-3
+    sense_power: float = 1.2e-3
+    process_time: float = 2e-3
+    sleep_power: float = 4e-6
+
+    def __post_init__(self) -> None:
+        if self.report_period <= 0.0:
+            raise ModelParameterError(f"report_period must be positive, got {self.report_period!r}")
+        if self.payload_bytes < 0:
+            raise ModelParameterError(f"payload_bytes must be >= 0, got {self.payload_bytes!r}")
+
+    def load(self) -> DutyCycledLoad:
+        """The node's electrical load profile."""
+        mcu_power = self.mcu_active_current * self.mcu_supply
+        tx_time = self.radio.transaction_time(self.payload_bytes)
+        tx_energy = self.radio.transmit_energy(self.payload_bytes)
+        tx_power = tx_energy / tx_time
+        return DutyCycledLoad(
+            period=self.report_period,
+            phases=[
+                (NodeState.SENSE, self.sense_time, self.sense_power + mcu_power),
+                (NodeState.PROCESS, self.process_time, mcu_power),
+                (NodeState.TRANSMIT, tx_time, tx_power + mcu_power),
+            ],
+            sleep_power=self.sleep_power,
+        )
+
+    def average_power(self) -> float:
+        """Cycle-average node power, watts."""
+        return self.load().average_power()
+
+    def energy_per_report(self) -> float:
+        """Active energy (joules) spent per report, excluding sleep floor."""
+        mcu_power = self.mcu_active_current * self.mcu_supply
+        energy = self.sense_time * (self.sense_power + mcu_power)
+        energy += self.process_time * mcu_power
+        energy += self.radio.transmit_energy(self.payload_bytes)
+        energy += self.radio.transaction_time(self.payload_bytes) * mcu_power
+        return energy
+
+    def neutral_report_period(self, harvest_power: float) -> float:
+        """Report period at which the node is energy-neutral for a given
+        average harvested power (watts).
+
+        Raises:
+            ModelParameterError: if even pure sleep exceeds the budget.
+        """
+        if harvest_power <= self.sleep_power:
+            raise ModelParameterError(
+                f"harvest power {harvest_power!r} W cannot cover the sleep floor "
+                f"{self.sleep_power!r} W"
+            )
+        return self.energy_per_report() / (harvest_power - self.sleep_power)

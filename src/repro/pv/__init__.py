@@ -1,0 +1,45 @@
+"""Photovoltaic device substrate.
+
+Implements the physics the paper's hardware prototype relied on: a
+single-diode PV model with explicit Lambert-W solutions
+(:mod:`repro.pv.single_diode`), photometric-to-photocurrent conversion
+(:mod:`repro.pv.irradiance`), a calibrated cell library containing the
+SANYO Amorton AM-1815 and Schott Solar 1116929 modules used on the
+bench (:mod:`repro.pv.cells`), MPP utilities (:mod:`repro.pv.mpp`),
+a lumped thermal model (:mod:`repro.pv.thermal`), and a thermoelectric
+generator for the paper's claimed TEG applicability
+(:mod:`repro.pv.teg`).
+"""
+
+from repro.pv.single_diode import SingleDiodeModel, MPPResult
+from repro.pv.irradiance import LightSource, FLUORESCENT, DAYLIGHT, INCANDESCENT, WHITE_LED
+from repro.pv.cells import PVCell, CellParameters, am_1815, schott_1116929, generic_asi, generic_csi
+from repro.pv.mpp import k_factor, k_factor_curve, efficiency_at_voltage
+from repro.pv.thermal import CellThermalModel
+from repro.pv.teg import ThermoelectricGenerator
+from repro.pv.fitting import FitTarget, FitResult, fit_cell_parameters, am_1815_targets
+
+__all__ = [
+    "SingleDiodeModel",
+    "MPPResult",
+    "LightSource",
+    "FLUORESCENT",
+    "DAYLIGHT",
+    "INCANDESCENT",
+    "WHITE_LED",
+    "PVCell",
+    "CellParameters",
+    "am_1815",
+    "schott_1116929",
+    "generic_asi",
+    "generic_csi",
+    "k_factor",
+    "k_factor_curve",
+    "efficiency_at_voltage",
+    "CellThermalModel",
+    "ThermoelectricGenerator",
+    "FitTarget",
+    "FitResult",
+    "fit_cell_parameters",
+    "am_1815_targets",
+]

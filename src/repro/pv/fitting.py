@@ -1,0 +1,222 @@
+"""Single-diode parameter extraction from datasheet/bench targets.
+
+The AM-1815 model in :mod:`repro.pv.cells` was calibrated with exactly
+this machinery: declare the published curve points as
+:class:`FitTarget` objects and run :func:`fit_cell_parameters` to
+recover the five free single-diode parameters (photocurrent scale,
+saturation current, ideality, series resistance, photo-shunt voltage)
+by weighted least squares in log-parameter space.
+
+This is a public API so downstream users can calibrate *their* cells —
+the paper's technique is cell-agnostic, and its divider trim depends on
+knowing the cell's k.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.errors import ConvergenceError, ModelParameterError
+from repro.pv.cells import CellParameters, PVCell
+from repro.pv.single_diode import SingleDiodeModel
+
+
+@dataclass(frozen=True)
+class FitTarget:
+    """One published/measured point to fit.
+
+    Attributes:
+        lux: test illuminance.
+        kind: which observable —
+            ``'voc'`` (open-circuit voltage, volts),
+            ``'isc'`` (short-circuit current, amps),
+            ``'i_at_v'`` (current at ``voltage``, amps),
+            ``'k'`` (MPP fractional voltage, dimensionless).
+        value: the target value.
+        voltage: required for ``'i_at_v'``.
+        weight: relative weight in the residual vector.
+    """
+
+    lux: float
+    kind: str
+    value: float
+    voltage: Optional[float] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("voc", "isc", "i_at_v", "k"):
+            raise ModelParameterError(f"unknown target kind {self.kind!r}")
+        if self.kind == "i_at_v" and self.voltage is None:
+            raise ModelParameterError("'i_at_v' targets need a voltage")
+        if self.lux <= 0.0:
+            raise ModelParameterError(f"lux must be positive, got {self.lux!r}")
+        if self.weight <= 0.0:
+            raise ModelParameterError(f"weight must be positive, got {self.weight!r}")
+
+
+@dataclass
+class FitResult:
+    """Outcome of a parameter extraction.
+
+    Attributes:
+        parameters: the fitted :class:`~repro.pv.cells.CellParameters`.
+        cell: a :class:`~repro.pv.cells.PVCell` wrapping them.
+        residuals: weighted relative residual per target.
+        cost: half the sum of squared residuals (scipy convention).
+    """
+
+    parameters: CellParameters
+    cell: PVCell
+    residuals: List[float]
+    cost: float
+
+    @property
+    def worst_residual(self) -> float:
+        """Largest absolute weighted residual."""
+        return max(abs(r) for r in self.residuals) if self.residuals else 0.0
+
+
+def _model_for(x: np.ndarray, n_series: int) -> "callable":
+    iph_per_klux = 10.0 ** x[0]
+    i0 = 10.0 ** x[1]
+    ideality = x[2]
+    rs = 10.0 ** x[3]
+    vg = 10.0 ** x[4]
+
+    def model(lux: float) -> SingleDiodeModel:
+        iph = iph_per_klux * lux / 1000.0
+        return SingleDiodeModel(
+            photocurrent=iph,
+            saturation_current=i0,
+            ideality=ideality,
+            n_series=n_series,
+            series_resistance=rs,
+            shunt_resistance=vg / iph,
+        )
+
+    return model
+
+
+def fit_cell_parameters(
+    targets: Sequence[FitTarget],
+    n_series: int,
+    name: str = "fitted-cell",
+    area_cm2: float = 25.0,
+    technology: str = "asi",
+    initial_guess: Optional[Sequence[float]] = None,
+    max_nfev: int = 400,
+) -> FitResult:
+    """Extract single-diode parameters matching the given targets.
+
+    Args:
+        targets: the published/measured points.
+        n_series: number of series junctions (count them on the module).
+        name: designation for the fitted cell.
+        area_cm2: module area for the resulting parameters.
+        technology: 'asi' or 'csi'.
+        initial_guess: optional (iph_per_klux, i0, ideality, rs, vg)
+            seed in natural units.
+        max_nfev: solver evaluation budget.
+
+    Returns:
+        A :class:`FitResult` with the parameters and diagnostics.
+
+    Raises:
+        ConvergenceError: if the solver cannot reduce the worst residual
+            below 20 % (a sign the targets are inconsistent).
+    """
+    if not targets:
+        raise ModelParameterError("need at least one fit target")
+    if n_series < 1:
+        raise ModelParameterError(f"n_series must be >= 1, got {n_series!r}")
+
+    if initial_guess is not None:
+        iph0, i00, n0, rs0, vg0 = initial_guess
+        x0 = np.array([math.log10(iph0), math.log10(i00), n0, math.log10(rs0), math.log10(vg0)])
+        seeds = [x0]
+    else:
+        seeds = [
+            np.array([math.log10(2.5e-4), math.log10(1e-11), n0, math.log10(rs0), math.log10(vg0)])
+            for n0 in (1.6, 2.0, 2.6)
+            for rs0 in (300.0, 2000.0)
+            for vg0 in (8.0, 20.0)
+        ]
+
+    def residuals(x: np.ndarray) -> List[float]:
+        model = _model_for(x, n_series)
+        out = []
+        for t in targets:
+            m = model(t.lux)
+            if t.kind == "voc":
+                predicted = m.voc()
+            elif t.kind == "isc":
+                predicted = m.isc()
+            elif t.kind == "i_at_v":
+                predicted = float(m.current_at(t.voltage))
+            else:  # 'k'
+                predicted = m.mpp().k
+            scale = abs(t.value) if t.value != 0.0 else 1.0
+            out.append(t.weight * (predicted - t.value) / scale)
+        return out
+
+    bounds = (
+        np.array([-6.0, -16.0, 1.0, 0.0, 0.3]),
+        np.array([-2.0, -7.0, 6.0, 4.0, 3.0]),
+    )
+    best = None
+    for seed in seeds:
+        seed = np.clip(seed, bounds[0], bounds[1])
+        solution = least_squares(
+            residuals, seed, bounds=bounds, max_nfev=max_nfev, xtol=1e-14, ftol=1e-14
+        )
+        if best is None or solution.cost < best.cost:
+            best = solution
+
+    final_residuals = residuals(best.x)
+    worst = max(abs(r) for r in final_residuals)
+    if worst > 0.2:
+        raise ConvergenceError(
+            f"fit did not reproduce the targets (worst residual {worst:.1%}); "
+            "check target consistency (e.g. an MPP point incompatible with "
+            "Isc/Voc — see DESIGN.md section 6)",
+            residual=worst,
+        )
+
+    parameters = CellParameters(
+        name=name,
+        technology=technology,
+        area_cm2=area_cm2,
+        n_series=n_series,
+        ideality=float(best.x[2]),
+        i0_ref=10.0 ** float(best.x[1]),
+        iph_per_klux=10.0 ** float(best.x[0]),
+        series_resistance=10.0 ** float(best.x[3]),
+        shunt_resistance=2.0e6,
+        photo_shunt_voltage=10.0 ** float(best.x[4]),
+        photo_shunt_saturation_iph=8.0 * (10.0 ** float(best.x[0])),
+    )
+    return FitResult(
+        parameters=parameters,
+        cell=PVCell(parameters),
+        residuals=list(final_residuals),
+        cost=float(best.cost),
+    )
+
+
+def am_1815_targets() -> List[FitTarget]:
+    """The AM-1815 calibration target set used for the library model."""
+    voc_points = {
+        200.0: 4.978, 300.0: 5.096, 400.0: 5.180, 500.0: 5.242, 600.0: 5.292,
+        700.0: 5.333, 800.0: 5.369, 900.0: 5.410, 1000.0: 5.440, 2000.0: 5.640,
+        3000.0: 5.750, 5000.0: 5.910,
+    }
+    targets = [FitTarget(lux=lux, kind="voc", value=v, weight=8.0) for lux, v in voc_points.items()]
+    targets.append(FitTarget(lux=200.0, kind="isc", value=50e-6, weight=6.0))
+    targets.append(FitTarget(lux=200.0, kind="i_at_v", value=42e-6, voltage=3.0, weight=6.0))
+    targets.append(FitTarget(lux=5000.0, kind="isc", value=1.15e-3, weight=4.0))
+    return targets

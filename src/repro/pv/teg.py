@@ -1,0 +1,75 @@
+"""Thermoelectric generator model for the paper's TEG-applicability claim.
+
+Sec. I: "it is also applicable to other forms of energy harvesting (such
+as thermoelectric generators) which feature a similar relationship
+between the open-circuit and MPP voltage [9]".  A TEG is a Thevenin
+source (Seebeck EMF behind an internal resistance), so its MPP sits at
+exactly half the open-circuit voltage — i.e. FOCV with k = 0.5 is not an
+approximation but *exact*.  This module provides a TEG that exposes the
+same observable surface as :class:`repro.pv.cells.PVCell` (voc / mpp /
+power_at), so the MPPT system can drive either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.pv.single_diode import MPPResult
+
+
+@dataclass(frozen=True)
+class ThermoelectricGenerator:
+    """Thevenin-equivalent thermoelectric generator.
+
+    Attributes:
+        seebeck_v_per_k: module Seebeck coefficient, volts per kelvin of
+            hot-cold differential (couples x per-couple alpha).
+        internal_resistance: electrical source resistance, ohms.
+        name: human-readable designation.
+    """
+
+    seebeck_v_per_k: float
+    internal_resistance: float
+    name: str = "TEG"
+
+    def __post_init__(self) -> None:
+        if self.seebeck_v_per_k <= 0.0:
+            raise ModelParameterError(f"seebeck_v_per_k must be positive, got {self.seebeck_v_per_k!r}")
+        if self.internal_resistance <= 0.0:
+            raise ModelParameterError(
+                f"internal_resistance must be positive, got {self.internal_resistance!r}"
+            )
+
+    def voc(self, delta_t: float) -> float:
+        """Open-circuit voltage (volts) at hot-cold differential ``delta_t`` K."""
+        if delta_t <= 0.0:
+            return 0.0
+        return self.seebeck_v_per_k * delta_t
+
+    def current_at(self, voltage: float, delta_t: float) -> float:
+        """Terminal current (amps) when held at ``voltage`` with ``delta_t`` K."""
+        return (self.voc(delta_t) - voltage) / self.internal_resistance
+
+    def power_at(self, voltage: float, delta_t: float) -> float:
+        """Output power (watts) at ``voltage``; clamped outside generation."""
+        if voltage <= 0.0:
+            return 0.0
+        current = self.current_at(voltage, delta_t)
+        if current <= 0.0:
+            return 0.0
+        return voltage * current
+
+    def mpp(self, delta_t: float) -> MPPResult:
+        """Maximum power point — exactly (Voc/2, Voc/2R) for a Thevenin source."""
+        voc = self.voc(delta_t)
+        if voc <= 0.0:
+            return MPPResult(voltage=0.0, current=0.0, power=0.0, voc=0.0, isc=0.0)
+        v = voc / 2.0
+        i = v / self.internal_resistance
+        return MPPResult(voltage=v, current=i, power=v * i, voc=voc, isc=voc / self.internal_resistance)
+
+    @property
+    def k(self) -> float:
+        """The exact fractional-Voc factor of a Thevenin source: 0.5."""
+        return 0.5

@@ -1,0 +1,71 @@
+"""Lumped thermal model of a PV cell under illumination.
+
+Sec. IV-A notes the bench could not exceed 5000 lux "without causing
+excessive heating of the PV cell".  This first-order model reproduces
+that constraint: absorbed optical power (minus the little that leaves as
+electricity) heats a thermal mass that leaks to ambient through a
+thermal resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.units import ZERO_CELSIUS, lux_to_irradiance
+
+
+@dataclass
+class CellThermalModel:
+    """First-order (single RC) cell thermal model.
+
+    Attributes:
+        area_cm2: illuminated area, cm^2.
+        absorptivity: fraction of incident radiant power absorbed as heat.
+        thermal_resistance: cell-to-ambient resistance, K/W.
+        thermal_capacitance: lumped heat capacity, J/K.
+        ambient_k: ambient temperature, kelvin.
+        temperature: current cell temperature, kelvin (state).
+    """
+
+    area_cm2: float
+    absorptivity: float = 0.85
+    thermal_resistance: float = 13.0
+    thermal_capacitance: float = 45.0
+    ambient_k: float = ZERO_CELSIUS + 25.0
+    temperature: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.area_cm2 <= 0.0:
+            raise ModelParameterError(f"area_cm2 must be positive, got {self.area_cm2!r}")
+        if not 0.0 < self.absorptivity <= 1.0:
+            raise ModelParameterError(f"absorptivity must be in (0, 1], got {self.absorptivity!r}")
+        if self.thermal_resistance <= 0.0 or self.thermal_capacitance <= 0.0:
+            raise ModelParameterError("thermal resistance and capacitance must be positive")
+        if self.temperature is None:
+            self.temperature = self.ambient_k
+
+    def absorbed_power(self, lux: float, efficacy_lm_per_w: float = 340.0) -> float:
+        """Radiant power absorbed as heat (watts) at ``lux`` illuminance."""
+        irradiance = lux_to_irradiance(lux, efficacy_lm_per_w)
+        return irradiance * (self.area_cm2 * 1e-4) * self.absorptivity
+
+    def steady_state_temperature(self, lux: float, efficacy_lm_per_w: float = 340.0) -> float:
+        """Equilibrium cell temperature (kelvin) under constant ``lux``."""
+        return self.ambient_k + self.absorbed_power(lux, efficacy_lm_per_w) * self.thermal_resistance
+
+    def step(self, lux: float, dt: float, efficacy_lm_per_w: float = 340.0) -> float:
+        """Advance the thermal state by ``dt`` seconds; returns new temperature.
+
+        Uses the exact exponential solution of the linear RC over the
+        step, so arbitrarily large ``dt`` is stable.
+        """
+        if dt < 0.0:
+            raise ModelParameterError(f"dt must be non-negative, got {dt!r}")
+        target = self.steady_state_temperature(lux, efficacy_lm_per_w)
+        tau = self.thermal_resistance * self.thermal_capacitance
+        import math
+
+        decay = math.exp(-dt / tau)
+        self.temperature = target + (self.temperature - target) * decay
+        return self.temperature

@@ -1,0 +1,31 @@
+"""Simulation engines and signal recording.
+
+Two engines cover the paper's two observation timescales:
+
+* :class:`~repro.sim.transient.TransientSimulator` — fixed-timestep
+  integration at microsecond-to-millisecond resolution, for waveform
+  reproductions (the Fig. 4 sampling transient, cold-start ramps).
+* :class:`~repro.sim.quasistatic.QuasiStaticSimulator` — one-second-class
+  steps over hours, treating each step as an electrical equilibrium and
+  integrating energy, for the 24-hour environment runs and the
+  state-of-the-art comparison.
+
+Signals are recorded into :class:`~repro.sim.traces.TraceSet` objects
+that behave like named time series with numpy views.
+"""
+
+from repro.sim.traces import Trace, TraceSet
+from repro.sim.events import EventQueue, Event
+from repro.sim.transient import TransientSimulator
+from repro.sim.quasistatic import QuasiStaticSimulator, StepResult, HarvestSummary
+
+__all__ = [
+    "Trace",
+    "TraceSet",
+    "EventQueue",
+    "Event",
+    "TransientSimulator",
+    "QuasiStaticSimulator",
+    "StepResult",
+    "HarvestSummary",
+]

@@ -1,0 +1,73 @@
+"""A small timed-event queue.
+
+Used by the engines for scheduled occurrences that don't align with the
+step grid: sampling-pulse edges, environment events (lights off), node
+wake-ups.  Events fire in time order; ties break by insertion order so
+behaviour is deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled occurrence.
+
+    Attributes:
+        time: firing time, seconds.
+        action: callable invoked as ``action(time)`` when fired.
+        label: human-readable tag for debugging.
+    """
+
+    time: float
+    action: Callable[[float], Any]
+    label: str = ""
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by time then insertion."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def schedule(self, time: float, action: Callable[[float], Any], label: str = "") -> Event:
+        """Schedule ``action`` to fire at ``time``; returns the event."""
+        event = Event(time=time, action=action, label=label)
+        heapq.heappush(self._heap, (time, next(self._counter), event))
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or None if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def fire_due(self, now: float) -> int:
+        """Fire every event with ``time <= now``; returns how many fired.
+
+        Actions may schedule further events (including at or before
+        ``now``); those fire in the same call, with a guard against
+        runaway zero-delay loops.
+        """
+        fired = 0
+        limit = 100_000
+        while self._heap and self._heap[0][0] <= now:
+            _, _, event = heapq.heappop(self._heap)
+            event.action(event.time)
+            fired += 1
+            if fired > limit:
+                raise SimulationError(
+                    f"event cascade exceeded {limit} firings at t={now}; "
+                    "likely a zero-delay scheduling loop"
+                )
+        return fired

@@ -1,0 +1,199 @@
+"""Signal traces: named time series recorded during simulation.
+
+A :class:`Trace` is an append-friendly (time, value) series with numpy
+views and the handful of reductions the experiment harnesses need
+(min/max/mean over windows, crossing detection).  A :class:`TraceSet`
+is a dictionary of traces with a shared recording interface — the
+simulated equivalent of the bench oscilloscope the authors pointed at
+PULSE and HELD_SAMPLE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+class Trace:
+    """One named time series.
+
+    Args:
+        name: signal name, e.g. ``"HELD_SAMPLE"``.
+        unit: unit label for reports, e.g. ``"V"``.
+    """
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample.  Times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise TraceError(
+                f"trace {self.name!r}: non-monotonic time {time} after {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as a numpy array (copy-on-read view)."""
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as a numpy array (copy-on-read view)."""
+        return np.asarray(self._values)
+
+    def at(self, time: float) -> float:
+        """Linearly-interpolated value at ``time``.
+
+        Raises:
+            TraceError: if the trace is empty.
+        """
+        if not self._times:
+            raise TraceError(f"trace {self.name!r} is empty")
+        return float(np.interp(time, self._times, self._values))
+
+    def window(self, t_start: float, t_end: float) -> "Trace":
+        """Sub-trace restricted to ``t_start <= t <= t_end``."""
+        if t_end < t_start:
+            raise TraceError(f"window end {t_end} before start {t_start}")
+        out = Trace(self.name, self.unit)
+        t = self.times
+        v = self.values
+        mask = (t >= t_start) & (t <= t_end)
+        out._times = list(t[mask])
+        out._values = list(v[mask])
+        return out
+
+    def minimum(self) -> float:
+        """Smallest recorded value."""
+        self._require_data()
+        return float(np.min(self.values))
+
+    def maximum(self) -> float:
+        """Largest recorded value."""
+        self._require_data()
+        return float(np.max(self.values))
+
+    def mean(self) -> float:
+        """Time-weighted mean value (trapezoidal over the record)."""
+        self._require_data()
+        t = self.times
+        v = self.values
+        if len(t) == 1 or t[-1] == t[0]:
+            return float(np.mean(v))
+        return float(np.trapezoid(v, t) / (t[-1] - t[0]))
+
+    def final(self) -> float:
+        """Last recorded value."""
+        self._require_data()
+        return self._values[-1]
+
+    def first_crossing(self, level: float, rising: bool = True) -> float | None:
+        """Time of first crossing through ``level`` (interpolated), or None.
+
+        Args:
+            level: threshold value.
+            rising: detect upward crossings if True, downward otherwise.
+        """
+        self._require_data()
+        t = self.times
+        v = self.values
+        if rising:
+            hits = np.nonzero((v[:-1] < level) & (v[1:] >= level))[0]
+        else:
+            hits = np.nonzero((v[:-1] > level) & (v[1:] <= level))[0]
+        if hits.size == 0:
+            return None
+        i = int(hits[0])
+        if v[i + 1] == v[i]:
+            return float(t[i + 1])
+        frac = (level - v[i]) / (v[i + 1] - v[i])
+        return float(t[i] + frac * (t[i + 1] - t[i]))
+
+    def _require_data(self) -> None:
+        if not self._times:
+            raise TraceError(f"trace {self.name!r} is empty")
+
+    def __repr__(self) -> str:
+        if self._times:
+            span = f"{self._times[0]:g}..{self._times[-1]:g}s"
+        else:
+            span = "empty"
+        return f"Trace({self.name!r}, {len(self)} samples, {span})"
+
+
+class TraceSet:
+    """A recorder holding many named traces."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, Trace] = {}
+
+    def declare(self, name: str, unit: str = "") -> Trace:
+        """Create (or fetch) a trace by name."""
+        if name not in self._traces:
+            self._traces[name] = Trace(name, unit)
+        return self._traces[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append a sample to the named trace, creating it if needed."""
+        self.declare(name).append(time, value)
+
+    def __getitem__(self, name: str) -> Trace:
+        try:
+            return self._traces[name]
+        except KeyError:
+            raise TraceError(f"no trace named {name!r}; have {sorted(self._traces)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._traces)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def names(self) -> List[str]:
+        """All trace names, sorted."""
+        return sorted(self._traces)
+
+    def to_csv(self, path, names: List[str] | None = None) -> None:
+        """Write selected traces to a CSV file on a merged time base.
+
+        Traces recorded on different grids are linearly interpolated
+        onto the union of all their sample times — the format external
+        plotting tools expect.
+
+        Args:
+            path: output file path.
+            names: traces to export (default: all, sorted).
+        """
+        selected = names if names is not None else self.names()
+        if not selected:
+            raise TraceError("no traces to export")
+        for name in selected:
+            if name not in self._traces:
+                raise TraceError(f"no trace named {name!r}")
+            self._traces[name]._require_data()
+        merged = np.unique(np.concatenate([self._traces[n].times for n in selected]))
+        columns = [np.interp(merged, self._traces[n].times, self._traces[n].values)
+                   for n in selected]
+        with open(path, "w") as handle:
+            handle.write("time," + ",".join(selected) + "\n")
+            for i, t in enumerate(merged):
+                row = ",".join(f"{col[i]:.9g}" for col in columns)
+                handle.write(f"{t:.9g},{row}\n")

@@ -1,0 +1,13 @@
+"""Energy-storage substrate: supercapacitors and batteries.
+
+The harvesting platform charges an energy store through the switching
+converter; the store in turn powers the MPPT circuitry and the sensor
+node.  Supercapacitors (the common choice in the cited systems, e.g.
+Simjee & Chou [4]) are modelled with ESR and leakage; an ideal battery
+model covers the fixed-rail alternative.
+"""
+
+from repro.storage.supercap import Supercapacitor
+from repro.storage.battery import IdealBattery
+
+__all__ = ["Supercapacitor", "IdealBattery"]

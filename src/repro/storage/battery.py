@@ -1,0 +1,74 @@
+"""Ideal rechargeable battery model.
+
+A fixed-voltage store with coulomb-count state of charge and a round-
+trip efficiency.  Useful as the "fixed rail sufficiently close to the
+MPP" scenario the paper cites for indoor systems that skip MPPT [7] —
+the store voltage doesn't move, so direct-connection operating points
+stay put.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+
+
+@dataclass
+class IdealBattery:
+    """A constant-voltage battery with finite capacity.
+
+    Attributes:
+        nominal_voltage: terminal voltage, volts (constant).
+        capacity_joules: full-charge energy, joules.
+        charge_efficiency: fraction of charging energy retained.
+        state_of_charge: fraction full (state), 0..1.
+    """
+
+    nominal_voltage: float = 3.0
+    capacity_joules: float = 1000.0
+    charge_efficiency: float = 0.95
+    state_of_charge: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.nominal_voltage <= 0.0:
+            raise ModelParameterError(f"nominal_voltage must be positive, got {self.nominal_voltage!r}")
+        if self.capacity_joules <= 0.0:
+            raise ModelParameterError(f"capacity_joules must be positive, got {self.capacity_joules!r}")
+        if not 0.0 < self.charge_efficiency <= 1.0:
+            raise ModelParameterError(
+                f"charge_efficiency must be in (0, 1], got {self.charge_efficiency!r}"
+            )
+        if not 0.0 <= self.state_of_charge <= 1.0:
+            raise ModelParameterError(
+                f"state_of_charge must be in [0, 1], got {self.state_of_charge!r}"
+            )
+
+    @property
+    def voltage(self) -> float:
+        """Terminal voltage, volts (constant while any charge remains)."""
+        return self.nominal_voltage if self.state_of_charge > 0.0 else 0.0
+
+    @property
+    def stored_energy(self) -> float:
+        """Remaining energy, joules."""
+        return self.state_of_charge * self.capacity_joules
+
+    def exchange(self, power: float, dt: float) -> float:
+        """Add (+) or draw (-) ``power`` watts for ``dt`` seconds.
+
+        Returns the power actually exchanged (clamped at full/empty).
+        """
+        if dt <= 0.0:
+            raise ModelParameterError(f"dt must be positive, got {dt!r}")
+        if power >= 0.0:
+            energy_in = power * dt * self.charge_efficiency
+            space = (1.0 - self.state_of_charge) * self.capacity_joules
+            accepted = min(energy_in, space)
+            self.state_of_charge += accepted / self.capacity_joules
+            return accepted / (dt * self.charge_efficiency)
+        energy_out = -power * dt
+        available = self.stored_energy
+        drawn = min(energy_out, available)
+        self.state_of_charge -= drawn / self.capacity_joules
+        return -drawn / dt

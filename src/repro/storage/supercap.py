@@ -1,0 +1,126 @@
+"""Supercapacitor energy store.
+
+Energy-based model with ESR charge/discharge loss and self-leakage,
+suitable for the quasi-static engine's second-class steps.  The store
+clamps at its rated voltage (a real harvester sheds or regulates there)
+and cannot be driven below zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+
+
+@dataclass
+class Supercapacitor:
+    """A supercapacitor with ESR and leakage.
+
+    Attributes:
+        capacitance: farads.
+        rated_voltage: maximum terminal voltage, volts.
+        esr: equivalent series resistance, ohms.
+        leakage_current: self-discharge current, amps.
+        voltage: current terminal voltage (state), volts.
+    """
+
+    capacitance: float
+    rated_voltage: float = 5.5
+    esr: float = 0.5
+    leakage_current: float = 1e-6
+    voltage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ModelParameterError(f"capacitance must be positive, got {self.capacitance!r}")
+        if self.rated_voltage <= 0.0:
+            raise ModelParameterError(f"rated_voltage must be positive, got {self.rated_voltage!r}")
+        if self.esr < 0.0 or self.leakage_current < 0.0:
+            raise ModelParameterError("esr and leakage_current must be >= 0")
+        if not 0.0 <= self.voltage <= self.rated_voltage:
+            raise ModelParameterError(
+                f"initial voltage {self.voltage!r} outside [0, {self.rated_voltage}]"
+            )
+
+    @property
+    def stored_energy(self) -> float:
+        """Stored energy, joules."""
+        return 0.5 * self.capacitance * self.voltage * self.voltage
+
+    @property
+    def headroom_energy(self) -> float:
+        """Energy acceptable before hitting the voltage clamp, joules."""
+        full = 0.5 * self.capacitance * self.rated_voltage * self.rated_voltage
+        return max(0.0, full - self.stored_energy)
+
+    def _esr_loss(self, power: float) -> float:
+        """ESR dissipation (watts) while exchanging ``power`` at the terminal.
+
+        Capped at |power|: the averaged model cannot dissipate more than
+        it moves (a real charger would simply fail to push that current).
+        """
+        if self.voltage <= 1e-9:
+            return 0.0
+        current = abs(power) / self.voltage
+        return min(current * current * self.esr, abs(power))
+
+    def exchange(self, power: float, dt: float) -> float:
+        """Exchange ``power`` watts with the store for ``dt`` seconds.
+
+        Positive power charges, negative discharges.  Self-leakage is
+        applied on every call with ``power >= 0`` exactly once per step
+        convention: callers exchanging both a charge and a draw in one
+        step should make the charge call first (leakage rides on it).
+
+        Returns:
+            The power actually exchanged at the terminal (may be less
+            than requested when the store clamps full or runs empty).
+        """
+        if dt <= 0.0:
+            raise ModelParameterError(f"dt must be positive, got {dt!r}")
+
+        loss = self._esr_loss(power)
+        leak = self.leakage_current * self.voltage
+        full = 0.5 * self.capacitance * self.rated_voltage * self.rated_voltage
+
+        if power >= 0.0:
+            requested = power
+            stored_delta = max(0.0, power - loss) - leak
+            energy = max(0.0, self.stored_energy + stored_delta * dt)
+            if energy > full:
+                # Clamp: report the terminal power pro-rated to what fit.
+                fitted = full - self.stored_energy
+                if stored_delta > 0.0:
+                    requested = power * fitted / (stored_delta * dt)
+                energy = full
+            self.voltage = math.sqrt(2.0 * energy / self.capacitance)
+            return requested
+
+        # Discharge: the store cannot deliver more terminal energy than
+        # it holds, regardless of loss bookkeeping.
+        drawn_internal = (-power + loss + leak) * dt
+        available = self.stored_energy
+        if drawn_internal <= available:
+            energy = available - drawn_internal
+            requested = power
+        else:
+            energy = 0.0
+            # Terminal share of what was actually available.
+            fraction = available / drawn_internal if drawn_internal > 0.0 else 0.0
+            requested = power * fraction
+        self.voltage = math.sqrt(2.0 * energy / self.capacitance)
+        return requested
+
+    def time_to_voltage(self, target: float, power: float) -> float:
+        """Seconds of constant ``power`` charging needed to reach ``target`` volts.
+
+        Ignores leakage and ESR (an estimate for sizing and tests).
+        """
+        if target < self.voltage:
+            raise ModelParameterError(f"target {target!r} below current voltage {self.voltage!r}")
+        if power <= 0.0:
+            raise ModelParameterError(f"power must be positive, got {power!r}")
+        needed = 0.5 * self.capacitance * (target * target - self.voltage * self.voltage)
+        return needed / power

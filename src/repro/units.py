@@ -1,0 +1,139 @@
+"""Physical constants and unit conversions used throughout the library.
+
+The paper quotes quantities in bench units (lux, microamps, millivolts).
+Internally everything is SI: volts, amps, ohms, farads, seconds, kelvin,
+watts, and lux for illuminance (photometric, because the paper's light
+levels are photometric).  This module is the single home for the
+constants and the handful of conversions between those worlds.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- fundamental constants -------------------------------------------------
+
+ELEMENTARY_CHARGE = 1.602176634e-19
+"""Elementary charge, coulombs (exact, 2019 SI)."""
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant, joules per kelvin (exact, 2019 SI)."""
+
+ZERO_CELSIUS = 273.15
+"""Offset between celsius and kelvin."""
+
+T_STC = ZERO_CELSIUS + 25.0
+"""Standard test-condition cell temperature, kelvin."""
+
+# --- photometry ------------------------------------------------------------
+
+LUMENS_PER_WATT_SUNLIGHT = 105.0
+"""Luminous efficacy of daylight (AM1.5-ish), lm/W.
+
+Outdoor full sun at ~1000 W/m^2 corresponds to ~105 klux, which is the
+standard conversion used in PV-harvesting literature.
+"""
+
+LUMENS_PER_WATT_FLUORESCENT = 340.0
+"""Luminous efficacy of tri-phosphor fluorescent office lighting, lm/W.
+
+Artificial light concentrates its power in the visible band, so each
+radiometric watt carries far more lux than sunlight does.  340 lm/W is
+a typical figure for the tube spectra used in indoor-PV papers.
+"""
+
+LUMENS_PER_WATT_INCANDESCENT = 16.0
+"""Luminous efficacy of an incandescent lamp, lm/W (mostly infrared)."""
+
+LUMENS_PER_WATT_LED = 300.0
+"""Luminous efficacy of a white LED's emitted optical spectrum, lm/W."""
+
+FULL_SUN_LUX = 105_000.0
+"""Illuminance of unobstructed midday sun, lux."""
+
+FULL_SUN_IRRADIANCE = 1000.0
+"""Irradiance of unobstructed midday sun, W/m^2 (STC)."""
+
+
+def thermal_voltage(temperature_k: float) -> float:
+    """Return kT/q in volts at the given absolute temperature.
+
+    At 25 degC this is 25.693 mV; the diode-equation scale factor for
+    every exponential in the PV models.
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive kelvin, got {temperature_k!r}")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a celsius temperature to kelvin."""
+    return temp_c + ZERO_CELSIUS
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a kelvin temperature to celsius."""
+    return temp_k - ZERO_CELSIUS
+
+
+def lux_to_irradiance(lux: float, efficacy_lm_per_w: float = LUMENS_PER_WATT_FLUORESCENT) -> float:
+    """Convert illuminance (lux) to irradiance (W/m^2) for a source spectrum.
+
+    ``efficacy_lm_per_w`` is the luminous efficacy of the *source* —
+    use the ``LUMENS_PER_WATT_*`` constants.  The paper's bench tests are
+    under artificial light, for which the fluorescent figure is the
+    appropriate default.
+    """
+    if lux < 0.0:
+        raise ValueError(f"illuminance must be non-negative, got {lux!r}")
+    if efficacy_lm_per_w <= 0.0:
+        raise ValueError(f"luminous efficacy must be positive, got {efficacy_lm_per_w!r}")
+    return lux / efficacy_lm_per_w
+
+
+def irradiance_to_lux(irradiance: float, efficacy_lm_per_w: float = LUMENS_PER_WATT_FLUORESCENT) -> float:
+    """Convert irradiance (W/m^2) to illuminance (lux) for a source spectrum."""
+    if irradiance < 0.0:
+        raise ValueError(f"irradiance must be non-negative, got {irradiance!r}")
+    if efficacy_lm_per_w <= 0.0:
+        raise ValueError(f"luminous efficacy must be positive, got {efficacy_lm_per_w!r}")
+    return irradiance * efficacy_lm_per_w
+
+
+def db(ratio: float) -> float:
+    """Power ratio expressed in decibels."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+# --- engineering-notation formatting ----------------------------------------
+
+_SI_PREFIXES = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+)
+
+
+def si_format(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``si_format(7.6e-6, 'A')`` -> ``'7.60uA'``.
+
+    Used by the benchmark harness so printed rows read like the paper's
+    (microamps, millivolts) rather than raw floats.
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g}{prefix}{unit}"
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g}{prefix}{unit}"

@@ -1,0 +1,30 @@
+"""Shared fixtures for the repro test suite."""
+
+import pytest
+
+from repro.core.config import PlatformConfig
+from repro.pv.cells import am_1815, generic_csi, schott_1116929
+
+
+@pytest.fixture
+def am1815():
+    """The paper's system-test cell."""
+    return am_1815()
+
+
+@pytest.fixture
+def schott():
+    """The paper's Fig. 1 / Fig. 2 cell."""
+    return schott_1116929()
+
+
+@pytest.fixture
+def csi():
+    """A crystalline comparator cell."""
+    return generic_csi()
+
+
+@pytest.fixture
+def prototype_config():
+    """A fresh paper-prototype platform configuration."""
+    return PlatformConfig.paper_prototype()

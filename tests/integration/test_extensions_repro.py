@@ -1,0 +1,98 @@
+"""Integration: the extension experiments (E11 Monte Carlo, E12 endurance,
+E13 environment diversity) and the weekly environment behind E12."""
+
+import pytest
+
+from repro.env.profiles import HOURS
+from repro.env.scenarios import weekly_office
+from repro.experiments import endurance, spectra
+
+
+class TestWeeklyEnvironment:
+    def test_weekday_has_room_lights(self):
+        week = weekly_office()
+        # Wednesday (day 2) at 10:00: room lights + daylight.
+        wednesday_morning = week(2 * 24 * HOURS + 10 * HOURS)
+        assert wednesday_morning > 300.0
+
+    def test_weekend_is_daylight_only(self):
+        week = weekly_office()
+        saturday_morning = week(5 * 24 * HOURS + 10 * HOURS)
+        wednesday_morning = week(2 * 24 * HOURS + 10 * HOURS)
+        assert saturday_morning < 0.7 * wednesday_morning
+
+    def test_weekend_evening_dark(self):
+        week = weekly_office()
+        # Saturday 22:00: no lights-on schedule, sun down.
+        assert week(5 * 24 * HOURS + 22 * HOURS) == 0.0
+
+    def test_periodic_beyond_week(self):
+        # The weekday/weekend schedule repeats weekly (the noise texture
+        # differs, so compare regimes rather than samples).
+        week = weekly_office()
+        first = week(10.0 * HOURS)
+        second = week(7 * 24 * HOURS + 10.0 * HOURS)
+        assert second == pytest.approx(first, rel=0.25)
+
+
+class TestEndurance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return endurance.run_week(dt=30.0)
+
+    def test_survives_the_week(self, result):
+        assert result.survived
+
+    def test_energy_neutral(self, result):
+        assert result.energy_neutral
+
+    def test_weekend_trough_visible(self, result):
+        weekday_harvest = result.days[0].harvested_j
+        weekend_harvest = result.days[5].harvested_j
+        assert weekend_harvest < 0.5 * weekday_harvest
+
+    def test_reports_continue_through_weekend(self, result):
+        assert result.days[5].reports > 0
+        assert result.days[6].reports > 0
+
+    def test_never_hibernates_with_default_sizing(self, result):
+        assert not any(d.hibernated for d in result.days)
+
+    def test_render(self, result):
+        text = endurance.render(result)
+        assert "Mon" in text and "Sun" in text
+        assert "survived: yes" in text
+
+    def test_tiny_store_fails_gracefully(self):
+        # With a badly undersized store the run completes and reports the
+        # failure honestly rather than crashing.
+        result = endurance.run_week(storage_farads=0.05, initial_voltage=2.6, dt=60.0)
+        assert isinstance(result.survived, bool)
+
+
+class TestSpectraDiversity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return spectra.run_spectra()
+
+    def test_covers_all_default_environments(self, points):
+        names = {p.environment for p in points}
+        assert "office-fluorescent" in names
+        assert "outdoor-sun" in names
+
+    def test_focv_perfect_where_trimmed(self, points):
+        office = next(p for p in points if p.environment == "office-fluorescent")
+        assert office.focv_efficiency > 0.99
+
+    def test_mixed_use_trim_robust_outdoors(self, points):
+        sun = next(p for p in points if p.environment == "outdoor-sun")
+        assert sun.paper_trim_efficiency > 0.9
+
+    def test_outdoor_power_dominates(self, points):
+        sun = next(p for p in points if p.environment == "outdoor-sun")
+        office = next(p for p in points if p.environment == "office-fluorescent")
+        assert sun.pmpp > 10.0 * office.pmpp
+
+    def test_render(self, points):
+        text = spectra.render(points)
+        assert "FOCV@59.6" in text

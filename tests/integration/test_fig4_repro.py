@@ -1,0 +1,68 @@
+"""Integration: Fig. 4 sampling-operation waveform (E4) and Fig. 1 curve (E1)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1, fig4
+
+
+@pytest.fixture(scope="module")
+def transient():
+    return fig4.run_sampling_transient(lux=1000.0)
+
+
+class TestFig4:
+    def test_pulse_width_is_39ms(self, transient):
+        assert transient.pulse_width == pytest.approx(39e-3, rel=0.05)
+
+    def test_pv_disconnects_up_to_voc(self, transient):
+        # During the pulse the module relaxes to (nearly) open circuit.
+        assert transient.pv_peak == pytest.approx(transient.true_voc, rel=0.01)
+
+    def test_pv_regulated_below_voc_before_pulse(self, transient):
+        assert transient.pv_regulated < 0.75 * transient.true_voc
+
+    def test_held_updates_toward_divided_voc(self, transient):
+        expected = 0.298 * transient.true_voc
+        assert transient.held_after == pytest.approx(expected, rel=0.02)
+
+    def test_ripple_small_but_visible(self, transient):
+        # "A small ripple may be observed" — millivolt scale, not volts.
+        assert 0.1e-3 < transient.ripple < 50e-3
+
+    def test_regulation_follows_half_alpha_rule(self, transient):
+        assert transient.pv_regulated == pytest.approx(transient.held_before / 0.5, rel=0.03)
+
+    def test_render_mentions_features(self, transient):
+        text = fig4.render(transient)
+        assert "PULSE width" in text
+        assert "HELD_SAMPLE" in text
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return fig1.run_iv_curves()
+
+    def test_covers_requested_intensities(self, curves):
+        assert set(curves) == {200.0, 500.0, 1000.0, 2000.0}
+
+    def test_current_monotone_decreasing(self, curves):
+        for result in curves.values():
+            assert np.all(np.diff(result.currents) <= 1e-12)
+
+    def test_power_unimodal_with_marked_mpp(self, curves):
+        r = curves[1000.0]
+        peak_index = int(np.argmax(r.powers))
+        assert 0 < peak_index < len(r.powers) - 1
+        assert r.voltages[peak_index] == pytest.approx(r.mpp.voltage, abs=0.1)
+
+    def test_asi_curve_shape(self, curves):
+        # a-Si: soft knee, k in the paper's 0.6-0.8 band at bench lux.
+        r = curves[1000.0]
+        assert 0.55 < r.mpp.k < 0.85
+        assert 0.3 < r.mpp.fill_factor < 0.7
+
+    def test_render_includes_mpp_marker(self, curves):
+        text = fig1.render(curves)
+        assert "MPP dashed at" in text

@@ -1,0 +1,75 @@
+"""Integration: Sec. IV-A current/timing (E6) and Sec. IV-B cold start (E7)."""
+
+import pytest
+
+from repro.experiments import sec4a, sec4b
+
+
+class TestSec4aPower:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sec4a.run_power_measurement()
+
+    def test_astable_on_period_39ms(self, result):
+        assert result.t_on == pytest.approx(39e-3, rel=0.01)
+
+    def test_astable_off_period_69s(self, result):
+        assert result.t_off == pytest.approx(69.0, rel=0.01)
+
+    def test_chain_current_7_6uA(self, result):
+        assert result.chain_current == pytest.approx(7.6e-6, rel=0.02)
+
+    def test_metrology_current_about_8uA(self, result):
+        # Paper: "draws an average 8 uA" for the S&H arrangement.
+        assert result.metrology_current == pytest.approx(8e-6, rel=0.08)
+
+    def test_cell_operating_current_42uA_at_200lux(self, result):
+        assert result.cell_op_current_200lux == pytest.approx(42e-6, rel=0.02)
+
+    def test_overhead_fraction_near_18_percent(self, result):
+        # Paper: "<18 % of the power obtained from the cell" (current
+        # ratio 7.6/42); our calibrated cell lands right at that edge.
+        assert result.overhead_fraction_200lux < 0.20
+        assert result.overhead_fraction_200lux > 0.12
+
+    def test_budget_groups_sum_to_totals(self, result):
+        budget = result.budget
+        total = sum(line.current for line in budget.lines)
+        assert budget.total_current() == pytest.approx(total, rel=1e-12)
+
+    def test_render_quotes_paper_numbers(self, result):
+        text = sec4a.render(result)
+        assert "7.6 uA" in text
+        assert "39 ms" in text
+
+
+class TestSec4bColdStart:
+    def test_cold_start_at_200_lux(self):
+        # The paper's headline: cold-start observed down to 200 lux.
+        result = sec4b.run_cold_start(200.0, dt=5e-4, timeout=30.0)
+        assert result.succeeded
+        assert result.t_powered < 5.0
+
+    def test_first_pulse_quickly_after_wake(self):
+        # "quickly generate a signal on the PULSE line".
+        result = sec4b.run_cold_start(500.0, dt=5e-4, timeout=30.0)
+        assert result.t_first_pulse - result.t_powered < 1.0
+
+    def test_active_released_only_after_first_sample(self):
+        result = sec4b.run_cold_start(1000.0, dt=5e-4, timeout=30.0)
+        assert result.t_active >= result.t_first_pulse
+
+    def test_brighter_light_starts_faster(self):
+        slow = sec4b.run_cold_start(200.0, dt=5e-4, timeout=60.0)
+        fast = sec4b.run_cold_start(2000.0, dt=5e-4, timeout=60.0)
+        assert fast.t_powered < slow.t_powered
+
+    def test_sweep_marks_failures_gracefully(self):
+        results = sec4b.run_sweep(lux_levels=(1.0, 1000.0), dt=1e-3, timeout=5.0)
+        assert not results[0].succeeded
+        assert results[1].succeeded
+
+    def test_render_table(self):
+        results = sec4b.run_sweep(lux_levels=(1000.0,), dt=1e-3, timeout=10.0)
+        text = sec4b.render(results)
+        assert "cold-started" in text

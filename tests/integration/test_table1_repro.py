@@ -1,0 +1,55 @@
+"""Integration: Table I reproduction (E5).
+
+Pins the complete system's tracking-accuracy table against the paper's
+published values: Voc and HELD_SAMPLE at every intensity, and the
+measured-k band.
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1.run_table1()
+
+
+class TestTable1:
+    def test_all_twelve_intensities_present(self, rows):
+        assert [r.lux for r in rows] == list(table1.PAPER_LUX_LEVELS)
+
+    def test_voc_matches_paper_within_one_percent(self, rows):
+        for row in rows:
+            paper_voc, _, _ = table1.PAPER_TABLE1[int(row.lux)]
+            assert row.voc == pytest.approx(paper_voc, rel=0.01), f"{row.lux} lux"
+
+    def test_held_matches_paper_within_two_percent(self, rows):
+        for row in rows:
+            _, paper_held, _ = table1.PAPER_TABLE1[int(row.lux)]
+            assert row.held == pytest.approx(paper_held, rel=0.02), f"{row.lux} lux"
+
+    def test_k_within_papers_measured_band(self, rows):
+        # Paper: "all values fall within the range 59.2 % to 60.1 %".
+        lo, hi = table1.k_band(rows)
+        assert lo > 58.7
+        assert hi < 60.6
+
+    def test_k_band_tight(self, rows):
+        lo, hi = table1.k_band(rows)
+        assert hi - lo < 1.2  # the paper's spread is 0.9 points
+
+    def test_k_per_row_close_to_paper(self, rows):
+        for row in rows:
+            _, _, paper_k = table1.PAPER_TABLE1[int(row.lux)]
+            assert row.k_percent == pytest.approx(paper_k, abs=0.8), f"{row.lux} lux"
+
+    def test_render_includes_all_rows(self, rows):
+        text = table1.render(rows)
+        for lux in table1.PAPER_LUX_LEVELS:
+            assert f"{lux}" in text
+
+    def test_repeatability_same_seed(self):
+        a = table1.run_table1(seed=7)
+        b = table1.run_table1(seed=7)
+        assert [r.held for r in a] == [r.held for r in b]

@@ -1,0 +1,88 @@
+"""Property-based tests for the Eq. (2) analysis and energy accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.sampling_error import worst_case_mean_error
+from repro.storage.supercap import Supercapacitor
+
+records = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=20, max_value=200),
+    elements=st.floats(min_value=0.0, max_value=10.0),
+)
+
+
+class TestEq2Properties:
+    @settings(max_examples=60, deadline=None)
+    @given(records, st.integers(min_value=1, max_value=19))
+    def test_error_nonnegative_and_bounded_by_range(self, x, p):
+        error = worst_case_mean_error(x, p)
+        assert error >= 0.0
+        assert error <= float(np.max(x) - np.min(x)) + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(records, st.integers(min_value=1, max_value=9))
+    def test_monotone_in_period(self, x, p):
+        # Widening the window can only widen (or keep) each excursion...
+        narrow = worst_case_mean_error(x, p)
+        wide = worst_case_mean_error(x, p + 10)
+        assert wide >= narrow - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(records, st.integers(min_value=2, max_value=19), st.floats(min_value=0.1, max_value=10.0))
+    def test_scale_equivariance(self, x, p, gain):
+        assert worst_case_mean_error(x * gain, p) == pytest.approx(
+            gain * worst_case_mean_error(x, p), rel=1e-9, abs=1e-12
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(records, st.integers(min_value=2, max_value=19), st.floats(min_value=-5.0, max_value=5.0))
+    def test_offset_invariance(self, x, p, offset):
+        assert worst_case_mean_error(x + offset, p) == pytest.approx(
+            worst_case_mean_error(x, p), rel=1e-9, abs=1e-9
+        )
+
+
+class TestStorageProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.floats(min_value=0.0, max_value=5.0),
+        st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=30),
+    )
+    def test_voltage_always_within_bounds(self, capacitance, v0, powers):
+        cap = Supercapacitor(capacitance=capacitance, rated_voltage=5.0, voltage=min(v0, 5.0))
+        for p in powers:
+            cap.exchange(p, 1.0)
+            assert 0.0 <= cap.voltage <= 5.0 + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.5, max_value=4.0),
+        st.floats(min_value=0.001, max_value=0.1),
+    )
+    def test_charge_never_creates_energy(self, capacitance, v0, power):
+        cap = Supercapacitor(
+            capacitance=capacitance, rated_voltage=5.0, voltage=v0, leakage_current=0.0
+        )
+        before = cap.stored_energy
+        accepted = cap.exchange(power, 10.0)
+        gained = cap.stored_energy - before
+        assert gained <= accepted * 10.0 + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.5, max_value=4.0),
+        st.floats(min_value=0.001, max_value=10.0),
+    )
+    def test_discharge_never_exceeds_stored(self, capacitance, v0, power):
+        cap = Supercapacitor(capacitance=capacitance, rated_voltage=5.0, voltage=v0)
+        before = cap.stored_energy
+        delivered = cap.exchange(-power, 100.0)
+        assert -delivered * 100.0 <= before + 1e-9

@@ -1,0 +1,117 @@
+"""Property-based tests for the analog substrate and MNA solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.components import Capacitor, ResistiveDivider
+from repro.analog.mna import Circuit
+from repro.core.astable import AstableMultivibrator
+
+resistances = st.floats(min_value=1.0, max_value=1e9)
+ratios = st.floats(min_value=0.01, max_value=0.99)
+voltages = st.floats(min_value=0.1, max_value=100.0)
+
+
+class TestDividerProperties:
+    @given(ratios, resistances)
+    def test_from_ratio_roundtrip(self, ratio, total):
+        d = ResistiveDivider.from_ratio(ratio, total)
+        assert d.ratio == pytest.approx(ratio, rel=1e-9)
+        assert d.total_resistance == pytest.approx(total, rel=1e-9)
+
+    @given(ratios, resistances, resistances)
+    def test_loading_always_droops(self, ratio, total, load):
+        d = ResistiveDivider.from_ratio(ratio, total)
+        assert d.loaded_ratio(load) <= d.ratio + 1e-15
+
+    @given(ratios, resistances)
+    def test_output_resistance_below_total(self, ratio, total):
+        d = ResistiveDivider.from_ratio(ratio, total)
+        assert 0.0 < d.output_resistance < d.total_resistance
+
+
+class TestCapacitorProperties:
+    @given(
+        st.floats(min_value=1e-9, max_value=1e-3),
+        voltages,
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_droop_never_increases_positive_voltage(self, farads, v, hold):
+        c = Capacitor(farads)
+        after = c.droop(v, hold)
+        assert 0.0 <= after <= v + 1e-12
+
+    @given(
+        st.floats(min_value=1e-9, max_value=1e-3),
+        voltages,
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=1.0, max_value=1e4),
+    )
+    def test_droop_composes(self, farads, v, t1, t2):
+        # Drooping t1 then t2 equals drooping t1+t2 (self-leakage only).
+        c = Capacitor(farads)
+        sequential = c.droop(c.droop(v, t1), t2)
+        combined = c.droop(v, t1 + t2)
+        assert sequential == pytest.approx(combined, rel=1e-9, abs=1e-12)
+
+
+class TestMNAProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(voltages, resistances, resistances, resistances)
+    def test_kcl_holds_at_solved_node(self, vin, r1, r2, r3):
+        c = Circuit()
+        c.add_voltage_source("in", "0", vin)
+        c.add_resistor("in", "n", r1)
+        c.add_resistor("n", "0", r2)
+        c.add_resistor("n", "0", r3)
+        sol = c.solve_dc()
+        v = sol["n"]
+        residual = (vin - v) / r1 - v / r2 - v / r3
+        assert residual == pytest.approx(0.0, abs=1e-9 * max(1.0, vin))
+
+    @settings(max_examples=50, deadline=None)
+    @given(voltages, ratios, resistances)
+    def test_divider_solution_matches_formula(self, vin, ratio, total):
+        d = ResistiveDivider.from_ratio(ratio, total)
+        c = Circuit()
+        c.add_voltage_source("in", "0", vin)
+        c.add_resistor("in", "tap", d.top.ohms)
+        c.add_resistor("tap", "0", d.bottom.ohms)
+        sol = c.solve_dc()
+        assert sol["tap"] == pytest.approx(vin * ratio, rel=1e-9)
+
+
+class TestAstableProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=1e-3, max_value=1.0),
+        st.floats(min_value=1e-2, max_value=100.0),
+        st.floats(min_value=0.1, max_value=0.95),
+    )
+    def test_design_roundtrip(self, t_on, t_off, beta):
+        a = AstableMultivibrator.from_timing(t_on=t_on, t_off=t_off, beta=beta)
+        assert a.t_on == pytest.approx(t_on, rel=1e-9)
+        assert a.t_off == pytest.approx(t_off, rel=1e-9)
+        assert 0.0 < a.duty_cycle < 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_pulse_count_additive(self, t1, span):
+        a = AstableMultivibrator.from_timing(t_on=39e-3, t_off=69.0)
+        mid = t1 + span / 2.0
+        end = t1 + span
+        total = a.pulse_count_in(t1, end)
+        split = a.pulse_count_in(t1, mid) + a.pulse_count_in(mid, end)
+        assert total == split
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_next_pulse_is_a_pulse_start(self, t):
+        a = AstableMultivibrator.from_timing(t_on=39e-3, t_off=69.0)
+        nxt = a.next_pulse_start(t)
+        assert nxt >= t - 1e-9
+        assert a.is_pulse_high(nxt + 1e-6)

@@ -1,0 +1,94 @@
+"""Property-based tests for the extension modules (E-series, fitting
+inputs, scheduler policy, aging)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.eseries import best_ratio_pair, nearest_value, rounding_error
+from repro.node.scheduler import EnergyAwareScheduler
+from repro.node.sensor_node import SensorNode
+from repro.pv.cells import am_1815
+
+
+class _Store:
+    def __init__(self, voltage):
+        self.voltage = voltage
+
+
+class TestESeriesProperties:
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_nearest_value_within_series_step(self, target):
+        # E24 steps are 10-15 % (the series is not log-uniform; the
+        # 1.3 -> 1.5 gap is the widest), so the snap error stays < 8 %.
+        value = nearest_value(target, "E24")
+        assert abs(rounding_error(target, "E24")) < 0.08
+        assert value > 0.0
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_e96_snap_error_bounded(self, target):
+        # E96 steps are ~2.4 %, so the snap error stays below ~2 %.
+        # (Note E96 is NOT a superset of E12 — 1.8 is an E12 value with
+        # no E96 counterpart — so "E96 always beats E12" is false.)
+        assert abs(rounding_error(target, "E96")) < 0.02
+
+    @given(st.floats(min_value=1e-6, max_value=1e12))
+    def test_snap_idempotent(self, target):
+        once = nearest_value(target, "E24")
+        twice = nearest_value(once, "E24")
+        assert twice == pytest.approx(once, rel=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=1e4, max_value=1e8),
+    )
+    def test_ratio_pair_close_and_positive(self, ratio, total):
+        top, bottom = best_ratio_pair(ratio, total, "E24")
+        assert top > 0.0 and bottom > 0.0
+        achieved = bottom / (top + bottom)
+        assert achieved == pytest.approx(ratio, rel=0.05)
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=6.0))
+    def test_policy_total(self, voltage):
+        sched = EnergyAwareScheduler(node=SensorNode(), storage=_Store(3.0))
+        period = sched.period_for_voltage(voltage)
+        if voltage < sched.v_survival:
+            assert period is None
+        else:
+            assert sched.min_period <= period <= sched.max_period
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=2.21, max_value=5.9),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    def test_policy_monotone(self, voltage, dv):
+        sched = EnergyAwareScheduler(node=SensorNode(), storage=_Store(3.0))
+        lower = sched.period_for_voltage(voltage)
+        higher = sched.period_for_voltage(min(voltage + dv, 6.0))
+        assert higher <= lower + 1e-9
+
+
+class TestAgingProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=40.0))
+    def test_power_never_increases_with_age(self, years):
+        fresh = am_1815()
+        aged = fresh.degraded(years)
+        assert aged.mpp(500.0).power <= fresh.mpp(500.0).power * (1.0 + 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=30.0),
+        st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_aging_monotone(self, a, b):
+        younger, older = sorted((a, b))
+        cell = am_1815()
+        p_young = cell.degraded(younger).mpp(500.0).power
+        p_old = cell.degraded(older).mpp(500.0).power
+        assert p_old <= p_young * (1.0 + 1e-9)

@@ -1,0 +1,125 @@
+"""Property-based tests for the PV device physics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pv.cells import am_1815
+from repro.pv.single_diode import SingleDiodeModel, lambertw_of_exp
+
+# Physically sensible parameter ranges for a small harvesting cell.
+photocurrents = st.floats(min_value=1e-7, max_value=0.05)
+saturation_currents = st.floats(min_value=1e-15, max_value=1e-8)
+idealities = st.floats(min_value=1.0, max_value=3.0)
+junctions = st.integers(min_value=1, max_value=12)
+series_resistances = st.floats(min_value=0.0, max_value=5e3)
+shunt_resistances = st.floats(min_value=1e3, max_value=1e8)
+
+
+def make_model(iph, i0, n, ns, rs, rsh):
+    return SingleDiodeModel(
+        photocurrent=iph,
+        saturation_current=i0,
+        ideality=n,
+        n_series=ns,
+        series_resistance=rs,
+        shunt_resistance=rsh,
+    )
+
+
+model_params = st.tuples(
+    photocurrents, saturation_currents, idealities, junctions, series_resistances, shunt_resistances
+)
+
+
+class TestLambertW:
+    @given(st.floats(min_value=-20.0, max_value=1e6))
+    def test_defining_equation(self, x):
+        w = lambertw_of_exp(x)
+        assert w > 0.0
+        assert w + math.log(w) == pytest.approx(x, rel=1e-9, abs=1e-9)
+
+    @given(st.floats(min_value=-20.0, max_value=1e5), st.floats(min_value=1e-6, max_value=1.0))
+    def test_monotone(self, x, dx):
+        assert lambertw_of_exp(x + dx) > lambertw_of_exp(x)
+
+
+class TestCurveInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(model_params)
+    def test_isc_voc_positive_and_ordered(self, params):
+        m = make_model(*params)
+        voc = m.voc()
+        isc = m.isc()
+        assert voc > 0.0
+        assert 0.0 < isc <= m.photocurrent * (1.0 + 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(model_params, st.floats(min_value=0.01, max_value=0.99))
+    def test_current_voltage_inverse(self, params, fraction):
+        m = make_model(*params)
+        v = fraction * m.voc()
+        i = float(m.current_at(v))
+        assert float(m.voltage_at(i)) == pytest.approx(v, rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(model_params)
+    def test_current_strictly_decreasing(self, params):
+        m = make_model(*params)
+        v = np.linspace(0.0, m.voc(), 64)
+        i = np.asarray(m.current_at(v))
+        assert np.all(np.diff(i) < 1e-15)
+
+    @settings(max_examples=60, deadline=None)
+    @given(model_params)
+    def test_mpp_inside_curve_and_dominant(self, params):
+        m = make_model(*params)
+        mpp = m.mpp()
+        assert 0.0 < mpp.voltage < mpp.voc
+        assert 0.0 < mpp.current < mpp.isc
+        v = np.linspace(1e-6, mpp.voc * 0.9999, 40)
+        powers = np.asarray(m.power_at(v))
+        assert mpp.power >= np.max(powers) - 1e-12 - 1e-6 * mpp.power
+
+    @settings(max_examples=60, deadline=None)
+    @given(model_params)
+    def test_fill_factor_bounded(self, params):
+        m = make_model(*params)
+        ff = m.mpp().fill_factor
+        assert 0.0 < ff < 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(model_params, st.floats(min_value=1.1, max_value=10.0))
+    def test_more_light_more_power(self, params, gain):
+        m = make_model(*params)
+        brighter = m.with_photocurrent(m.photocurrent * gain)
+        assert brighter.mpp().power > m.mpp().power
+        assert brighter.voc() > m.voc()
+
+
+class TestCellInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=10.0, max_value=100000.0))
+    def test_k_stays_in_unit_interval(self, lux):
+        mpp = am_1815().mpp(lux)
+        assert 0.3 < mpp.k < 0.95
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=10.0, max_value=50000.0),
+        st.floats(min_value=263.0, max_value=353.0),
+    )
+    def test_power_positive_under_any_condition(self, lux, temp):
+        mpp = am_1815().mpp(lux, temperature=temp)
+        assert mpp.power > 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=50.0, max_value=50000.0))
+    def test_voc_temperature_always_negative_coefficient(self, lux):
+        cell = am_1815()
+        cold = cell.voc(lux, temperature=283.0)
+        hot = cell.voc(lux, temperature=333.0)
+        assert hot < cold

@@ -1,0 +1,169 @@
+"""Unit tests for comparator, op-amp buffer, MOSFET, and analog switch."""
+
+import pytest
+
+from repro.analog.comparator import LMC7215, Comparator, ComparatorSpec
+from repro.analog.mosfet import LOW_THRESHOLD_NFET, MosfetSpec, MosfetSwitch
+from repro.analog.opamp import MICROPOWER_BUFFER, OpAmpSpec, UnityGainBuffer
+from repro.analog.switch import MICROPOWER_ANALOG_SWITCH, AnalogSwitch
+from repro.errors import ModelParameterError
+
+
+class TestComparator:
+    def test_basic_comparison(self):
+        c = Comparator(spec=ComparatorSpec(name="ideal", quiescent_current=0.0))
+        assert c.evaluate(2.0, 1.0)
+        assert not c.evaluate(1.0, 2.0)
+
+    def test_lmc7215_quiescent_current(self):
+        c = Comparator(spec=LMC7215)
+        assert c.supply_current() == pytest.approx(0.7e-6)
+
+    def test_hysteresis_band(self):
+        spec = ComparatorSpec(name="hyst", quiescent_current=0.0, hysteresis=0.2)
+        c = Comparator(spec=spec)
+        assert not c.evaluate(0.05, 0.0)  # inside band from low state
+        assert c.evaluate(0.15, 0.0)  # above band -> high
+        assert c.evaluate(-0.05, 0.0)  # inside band holds high
+        assert not c.evaluate(-0.15, 0.0)  # below band -> low
+
+    def test_dead_below_min_supply(self):
+        c = Comparator(spec=LMC7215, supply=1.0)
+        assert not c.evaluate(3.0, 0.0)
+        assert c.supply_current() == 0.0
+
+    def test_output_voltage_swings_rail(self):
+        c = Comparator(spec=ComparatorSpec(name="x", quiescent_current=0.0), supply=3.3)
+        c.evaluate(1.0, 0.0)
+        assert c.output_voltage == pytest.approx(3.3)
+        c.evaluate(0.0, 1.0)
+        assert c.output_voltage == 0.0
+
+    def test_inverting_sense(self):
+        c = Comparator(spec=ComparatorSpec(name="x", quiescent_current=0.0), inverting=True)
+        assert c.evaluate(0.0, 1.0)
+
+    def test_offset_shifts_threshold(self):
+        spec = ComparatorSpec(name="x", quiescent_current=0.0, input_offset=0.05)
+        c = Comparator(spec=spec)
+        assert c.evaluate(0.0, 0.02)  # offset makes the + input look higher
+
+
+class TestUnityGainBuffer:
+    def test_settle_tracks_input_with_offset(self):
+        b = UnityGainBuffer(spec=MICROPOWER_BUFFER)
+        out = b.settle(1.5)
+        assert out == pytest.approx(1.5 + MICROPOWER_BUFFER.input_offset)
+
+    def test_output_clamps_to_rails(self):
+        b = UnityGainBuffer(supply=3.3)
+        assert b.settle(5.0) == pytest.approx(3.3)
+        assert b.settle(-1.0) == 0.0
+
+    def test_slew_limiting(self):
+        spec = OpAmpSpec(name="slow", quiescent_current=1e-6, slew_rate=1.0)
+        b = UnityGainBuffer(spec=spec)
+        b.step(2.0, dt=0.5)
+        assert b.output == pytest.approx(0.5)
+
+    def test_step_reaches_target_when_slow_enough(self):
+        b = UnityGainBuffer()
+        b.step(1.0, dt=1.0)
+        assert b.output == pytest.approx(1.0 + b.spec.input_offset)
+
+    def test_dead_below_min_supply(self):
+        b = UnityGainBuffer(supply=1.0)
+        assert b.settle(1.0) == 0.0
+        assert b.supply_current() == 0.0
+        assert b.bias_current() == 0.0
+
+    def test_bias_current_pA_scale(self):
+        b = UnityGainBuffer()
+        assert 0.0 < b.bias_current() < 1e-10
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ModelParameterError):
+            UnityGainBuffer().step(1.0, dt=-1.0)
+
+
+class TestMosfetSwitch:
+    def test_off_below_threshold(self):
+        m = MosfetSwitch()
+        assert not m.is_on(0.3)
+        assert m.channel_resistance(0.3) == float("inf")
+
+    def test_fully_enhanced_resistance(self):
+        m = MosfetSwitch()
+        assert m.channel_resistance(3.3) == pytest.approx(m.spec.on_resistance)
+
+    def test_partial_enhancement_interpolates(self):
+        m = MosfetSwitch()
+        mid = (m.spec.threshold + m.spec.full_enhancement_vgs) / 2.0
+        r = m.channel_resistance(mid)
+        assert m.spec.on_resistance < r < float("inf")
+        assert r == pytest.approx(2.0 * m.spec.on_resistance, rel=0.01)
+
+    def test_pfet_uses_magnitude(self):
+        from repro.analog.mosfet import LOW_THRESHOLD_PFET
+
+        m = MosfetSwitch(spec=LOW_THRESHOLD_PFET)
+        assert m.is_on(-3.0)
+
+    def test_conduction_loss(self):
+        m = MosfetSwitch()
+        loss = m.conduction_loss(0.01, 3.3)
+        assert loss == pytest.approx(1e-4 * m.spec.on_resistance)
+
+    def test_negligible_loss_claim(self):
+        # Paper: one low-Ron MOSFET in the PV line has negligible impact.
+        m = MosfetSwitch(spec=LOW_THRESHOLD_NFET)
+        cell_current = 250e-6  # 1000 lux AM-1815 scale
+        loss = m.conduction_loss(cell_current, 3.3)
+        assert loss < 1e-6  # well under a microwatt
+
+    def test_switching_energy(self):
+        m = MosfetSwitch()
+        assert m.switching_energy(3.3) == pytest.approx(m.spec.gate_charge * 3.3)
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ModelParameterError):
+            MosfetSpec(name="bad", threshold=2.0, on_resistance=1.0, full_enhancement_vgs=1.0)
+
+
+class TestAnalogSwitch:
+    def test_open_by_default(self):
+        s = AnalogSwitch()
+        assert not s.closed
+        assert s.resistance == float("inf")
+
+    def test_close_and_open(self):
+        s = AnalogSwitch()
+        s.close()
+        assert s.resistance == pytest.approx(s.spec.on_resistance)
+        kick = s.open(1e-6)
+        assert kick == pytest.approx(s.spec.charge_injection / 1e-6)
+        assert not s.closed
+
+    def test_open_without_cap_returns_zero(self):
+        s = AnalogSwitch()
+        s.close()
+        assert s.open() == 0.0
+
+    def test_open_when_already_open_no_kick(self):
+        s = AnalogSwitch()
+        assert s.open(1e-6) == 0.0
+
+    def test_leakage_only_when_open(self):
+        s = AnalogSwitch()
+        assert s.leakage_current() == pytest.approx(s.spec.off_leakage)
+        s.close()
+        assert s.leakage_current() == 0.0
+
+    def test_rejects_bad_hold_cap(self):
+        s = AnalogSwitch()
+        s.close()
+        with pytest.raises(ModelParameterError):
+            s.open(0.0)
+
+    def test_default_part_is_micropower(self):
+        assert MICROPOWER_ANALOG_SWITCH.quiescent_current < 1e-7

@@ -1,0 +1,99 @@
+"""Unit tests for cell aging and the experiment drivers not covered elsewhere."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.experiments import ablation, aging
+from repro.pv.cells import am_1815
+
+
+class TestCellAging:
+    def test_aged_cell_produces_less(self):
+        fresh = am_1815()
+        aged = fresh.degraded(10.0)
+        assert aged.mpp(500.0).power < fresh.mpp(500.0).power
+
+    def test_zero_years_is_identity(self):
+        fresh = am_1815()
+        same = fresh.degraded(0.0)
+        assert same.mpp(500.0).power == pytest.approx(fresh.mpp(500.0).power, rel=1e-12)
+
+    def test_original_untouched(self):
+        fresh = am_1815()
+        before = fresh.parameters.iph_per_klux
+        fresh.degraded(20.0)
+        assert fresh.parameters.iph_per_klux == before
+
+    def test_degradation_compounds(self):
+        fresh = am_1815()
+        p5 = fresh.degraded(5.0).mpp(500.0).power
+        p15 = fresh.degraded(15.0).mpp(500.0).power
+        assert p15 < p5
+
+    def test_photocurrent_floor(self):
+        # Even absurd ages leave a positive cell.
+        ancient = am_1815().degraded(500.0)
+        assert ancient.mpp(500.0).power > 0.0
+
+    def test_name_records_age(self):
+        assert "aged-10y" in am_1815().degraded(10.0).name
+
+    def test_rejects_negative_years(self):
+        with pytest.raises(ModelParameterError):
+            am_1815().degraded(-1.0)
+
+
+class TestAgingExperiment:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return aging.run_aging(lux=5000.0, rs_growth_per_year=0.08)
+
+    def test_available_power_declines(self, points):
+        powers = [p.pmpp for p in points]
+        assert all(b < a for a, b in zip(powers, powers[1:]))
+
+    def test_focv_at_least_matches_fixed(self, points):
+        for p in points:
+            assert p.focv_efficiency >= p.fixed_efficiency - 1e-3
+
+    def test_render(self, points):
+        text = aging.render(points, lux=5000.0)
+        assert "age(yr)" in text
+        assert "FOCV eff(%)" in text
+
+
+class TestAblationDrivers:
+    def test_k_trim_sweep_shape(self):
+        points = ablation.k_trim_sweep(ratios=(0.5, 0.7, 0.8), lux_levels=(200.0, 5000.0))
+        assert len(points) == 3
+        for p in points:
+            assert set(p.efficiency_by_lux) == {200.0, 5000.0}
+            for eff in p.efficiency_by_lux.values():
+                assert 0.0 < eff <= 1.0
+
+    def test_k_trim_optimum_moves_with_intensity(self):
+        points = ablation.k_trim_sweep(
+            ratios=(0.55, 0.60, 0.65, 0.70, 0.75, 0.80), lux_levels=(200.0, 5000.0)
+        )
+        best_indoor = max(points, key=lambda p: p.efficiency_by_lux[200.0]).ratio
+        best_bright = max(points, key=lambda p: p.efficiency_by_lux[5000.0]).ratio
+        assert best_indoor > best_bright  # k falls with intensity on this cell
+
+    def test_dielectric_sweep_ordering(self):
+        points = ablation.dielectric_sweep()
+        droops = [p.droop_v for p in points]
+        assert droops == sorted(droops)  # polyester, X7R, electrolytic order
+
+    def test_divider_sweep_tradeoffs(self):
+        points = ablation.divider_impedance_sweep(totals=(1e6, 100e6))
+        low, high = points
+        assert low.loading_error_v > high.loading_error_v
+        assert low.duty_weighted_current_a > high.duty_weighted_current_a
+
+    def test_hold_period_tradeoff_uses_log(self):
+        from repro.experiments import fig2
+
+        log = fig2.run_log("desk", dt=60.0)
+        points = ablation.hold_period_tradeoff(log, periods=(60.0, 600.0))
+        assert points[0].voc_error_v <= points[1].voc_error_v
+        assert points[0].overhead_energy_per_hour > points[1].overhead_energy_per_hour

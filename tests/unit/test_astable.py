@@ -1,0 +1,141 @@
+"""Unit tests for the astable multivibrator."""
+
+import math
+
+import pytest
+
+from repro.core.astable import AstableMultivibrator
+from repro.errors import ModelParameterError
+
+
+def paper_astable(**kwargs):
+    return AstableMultivibrator.from_timing(t_on=39e-3, t_off=69.0, **kwargs)
+
+
+class TestDesign:
+    def test_from_timing_reproduces_requested_periods(self):
+        a = paper_astable()
+        assert a.t_on == pytest.approx(39e-3, rel=1e-12)
+        assert a.t_off == pytest.approx(69.0, rel=1e-12)
+
+    def test_timing_formula(self):
+        a = AstableMultivibrator(r_on=10e3, r_off=1e6, capacitance=1e-6, beta=0.5)
+        expected_on = 10e3 * 1e-6 * math.log(3.0)
+        assert a.t_on == pytest.approx(expected_on, rel=1e-12)
+        assert a.t_off == pytest.approx(100.0 * expected_on, rel=1e-12)
+
+    def test_duty_cycle_tiny_for_paper_design(self):
+        a = paper_astable()
+        assert a.duty_cycle == pytest.approx(39e-3 / 69.039, rel=1e-9)
+        assert a.duty_cycle < 1e-3
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ModelParameterError):
+            AstableMultivibrator(r_on=1e3, r_off=1e3, capacitance=1e-6, beta=1.0)
+
+    def test_rejects_bad_timing_request(self):
+        with pytest.raises(ModelParameterError):
+            AstableMultivibrator.from_timing(t_on=0.0, t_off=1.0)
+
+    def test_thresholds_bracket_half_supply(self):
+        a = paper_astable()
+        lower, upper = a.thresholds
+        assert lower < a.supply / 2.0 < upper
+        assert upper - lower == pytest.approx(a.beta * a.supply, rel=1e-12)
+
+
+class TestPhaseAPI:
+    def test_pulse_high_at_cycle_start(self):
+        a = paper_astable()
+        assert a.is_pulse_high(0.0)
+        assert a.is_pulse_high(0.038)
+        assert not a.is_pulse_high(0.040)
+        assert not a.is_pulse_high(30.0)
+        assert a.is_pulse_high(a.period + 0.001)
+
+    def test_pulse_count_in_interval(self):
+        a = paper_astable()
+        assert a.pulse_count_in(0.0, a.period) == 1
+        assert a.pulse_count_in(0.0, 3.0 * a.period) == 3
+        assert a.pulse_count_in(1.0, 2.0) == 0
+        assert a.pulse_count_in(1.0, a.period + 1.0) == 1
+
+    def test_pulse_count_rejects_reversed_interval(self):
+        with pytest.raises(ModelParameterError):
+            paper_astable().pulse_count_in(5.0, 1.0)
+
+    def test_next_pulse_start(self):
+        a = paper_astable()
+        assert a.next_pulse_start(1.0) == pytest.approx(a.period)
+        assert a.next_pulse_start(a.period) == pytest.approx(a.period)
+
+
+class TestCurrentBudget:
+    def test_average_current_matches_paper_scale(self):
+        a = paper_astable()
+        # The astable block alone is well under 1 uA.
+        assert 0.5e-6 < a.average_current() < 1.5e-6
+
+    def test_timing_network_current_formula(self):
+        a = paper_astable()
+        expected = 2.0 * a.capacitance * a.beta * a.supply / a.period
+        assert a.timing_network_current() == pytest.approx(expected, rel=1e-12)
+
+    def test_comparator_dominates_budget(self):
+        a = paper_astable()
+        assert a.comparator.quiescent_current > a.timing_network_current()
+
+
+class TestTransientAPI:
+    def test_oscillates_when_powered(self):
+        a = AstableMultivibrator.from_timing(t_on=1e-3, t_off=10e-3)
+        dt = 20e-6
+        edges = 0
+        last = a.advance(dt)
+        for _ in range(int(0.1 / dt)):
+            now = a.advance(dt)
+            if now != last:
+                edges += 1
+            last = now
+        # ~9 periods in 100 ms -> ~18 edges; allow simulation slop.
+        assert 12 <= edges <= 24
+
+    def test_measured_pulse_width_matches_design(self):
+        a = AstableMultivibrator.from_timing(t_on=5e-3, t_off=50e-3)
+        dt = 5e-6
+        t = 0.0
+        rise = fall = None
+        last = a.advance(dt)
+        while fall is None and t < 0.2:
+            t += dt
+            now = a.advance(dt)
+            if now and not last and rise is None:
+                rise = t
+            if last and not now and rise is not None:
+                fall = t
+            last = now
+        assert fall is not None
+        assert fall - rise == pytest.approx(5e-3, rel=0.05)
+
+    def test_dead_below_min_supply(self):
+        a = paper_astable()
+        for _ in range(100):
+            assert not a.advance(1e-3, supply=1.0)
+        assert a.capacitor_voltage == pytest.approx(0.0, abs=1e-6)
+
+    def test_first_pulse_fires_quickly_on_wake(self):
+        # Sec. IV-B: the system "quickly generate[s] a signal on the
+        # PULSE line" — the first pulse begins within one on-period.
+        a = paper_astable()
+        assert a.advance(1e-4, supply=3.3)  # output goes high immediately
+
+    def test_reset_clears_state(self):
+        a = paper_astable()
+        a.advance(1e-3)
+        a.reset()
+        assert a.capacitor_voltage == 0.0
+        assert not a.output_high
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ModelParameterError):
+            paper_astable().advance(-1.0)

@@ -1,0 +1,142 @@
+"""Unit tests for the calibrated cell library."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.pv.cells import CellParameters, PVCell, am_1815, generic_asi, generic_csi, schott_1116929
+from repro.pv.irradiance import DAYLIGHT, FLUORESCENT, INCANDESCENT
+from repro.units import T_STC
+
+# The paper's Table I open-circuit voltages for the AM-1815.
+TABLE1_VOC = {
+    200: 4.978, 300: 5.096, 400: 5.180, 500: 5.242, 600: 5.292, 700: 5.333,
+    800: 5.369, 900: 5.410, 1000: 5.440, 2000: 5.640, 3000: 5.750, 5000: 5.910,
+}
+
+
+class TestAm1815Calibration:
+    """Pins every published number the model was calibrated against."""
+
+    @pytest.mark.parametrize("lux,voc", sorted(TABLE1_VOC.items()))
+    def test_table1_voc_within_half_percent(self, am1815, lux, voc):
+        assert am1815.voc(float(lux)) == pytest.approx(voc, rel=0.005)
+
+    def test_isc_at_200_lux_matches_datasheet(self, am1815):
+        assert am1815.isc(200.0) == pytest.approx(50e-6, rel=0.01)
+
+    def test_datasheet_operating_point_on_curve(self, am1815):
+        # Sec. IV-A / datasheet: 42 uA at 3.0 V under 200 lux.
+        model = am1815.model_at(200.0)
+        assert float(model.current_at(3.0)) == pytest.approx(42e-6, rel=0.01)
+
+    def test_isc_roughly_linear_in_lux(self, am1815):
+        ratio = am1815.isc(5000.0) / am1815.isc(200.0)
+        assert 20.0 < ratio < 25.5  # 25x lux with mild sub-linearity
+
+    def test_k_in_papers_quoted_band(self, am1815):
+        # Sec. II-A: "typically between 0.6 and 0.8" (we allow the model's
+        # slight exceedance at the calibration edge).
+        for lux in (200.0, 500.0, 1000.0, 2000.0, 5000.0):
+            k = am1815.mpp(lux).k
+            assert 0.60 <= k <= 0.84
+
+    def test_k_weakly_correlated_with_intensity(self, am1815):
+        # Ref [10]: weak correlation — a fraction of the 25x lux span.
+        k_low = am1815.mpp(200.0).k
+        k_high = am1815.mpp(5000.0).k
+        assert abs(k_low - k_high) < 0.2
+
+    def test_voc_temperature_coefficient_matches_asi(self, am1815):
+        v25 = am1815.voc(1000.0)
+        v45 = am1815.voc(1000.0, temperature=T_STC + 20.0)
+        coeff = (v45 - v25) / v25 / 20.0
+        assert -0.006 < coeff < -0.002  # -0.2..-0.6 %/K
+
+    def test_area_matches_paper(self, am1815):
+        assert am1815.parameters.area_cm2 == pytest.approx(25.0)
+
+
+class TestCellBehaviour:
+    def test_dark_cell_produces_nothing(self, am1815):
+        assert am1815.voc(0.0) == 0.0
+        assert am1815.isc(0.0) == 0.0
+        assert am1815.mpp(0.0).power == 0.0
+        assert am1815.power_at(3.0, 0.0) == 0.0
+
+    def test_power_clamped_outside_generating_quadrant(self, am1815):
+        assert am1815.power_at(-1.0, 500.0) == 0.0
+        assert am1815.power_at(am1815.voc(500.0) * 1.5, 500.0) == 0.0
+
+    def test_power_at_matches_model(self, am1815):
+        model = am1815.model_at(700.0)
+        v = 3.0
+        assert am1815.power_at(v, 700.0) == pytest.approx(v * float(model.current_at(v)), rel=1e-9)
+
+    def test_voc_monotone_in_lux(self, am1815):
+        levels = [50.0, 200.0, 1000.0, 5000.0, 20000.0]
+        vocs = [am1815.voc(lux) for lux in levels]
+        assert all(b > a for a, b in zip(vocs, vocs[1:]))
+
+    def test_spectral_response_orders_sources(self, am1815):
+        # Per lux, a-Si harvests most from fluorescent/daylight-visible
+        # spectra and least from incandescent IR-heavy light.
+        i_fluor = am1815.photocurrent(500.0, source=FLUORESCENT)
+        i_day = am1815.photocurrent(500.0, source=DAYLIGHT)
+        i_inc = am1815.photocurrent(500.0, source=INCANDESCENT)
+        assert i_day > i_fluor  # daylight lux carries more radiant power
+        assert i_inc < i_day
+
+    def test_photo_shunt_caps_at_dark_value(self, am1815):
+        dark = am1815.parameters.shunt_resistance
+        assert am1815.shunt_resistance(0.0) == dark
+        assert am1815.shunt_resistance(1e-12) == dark
+        assert am1815.shunt_resistance(1e-3) < dark
+
+    def test_repr_mentions_name(self, am1815):
+        assert "AM-1815" in repr(am1815)
+
+
+class TestLibraryCells:
+    def test_schott_is_larger_than_am1815(self, schott, am1815):
+        assert schott.mpp(1000.0).power > am1815.mpp(1000.0).power
+
+    def test_schott_voc_band(self, schott):
+        # 8 junctions -> Voc scales ~8/6 of the AM-1815's.
+        assert 6.0 < schott.voc(1000.0) < 8.0
+
+    def test_generic_asi_small(self):
+        cell = generic_asi()
+        assert cell.mpp(1000.0).power < am_1815().mpp(1000.0).power
+
+    def test_csi_has_squarer_curve(self, csi, am1815):
+        assert csi.mpp(1000.0).fill_factor > am1815.mpp(1000.0).fill_factor
+
+    def test_csi_prefers_daylight(self, csi):
+        per_lux_daylight = csi.photocurrent(1000.0, source=DAYLIGHT)
+        per_lux_fluor = csi.photocurrent(1000.0, source=FLUORESCENT)
+        assert per_lux_daylight > 2.0 * per_lux_fluor
+
+
+class TestParameterValidation:
+    def test_rejects_unknown_technology(self):
+        with pytest.raises(ModelParameterError):
+            CellParameters(
+                name="x", technology="perovskite", area_cm2=1.0, n_series=1,
+                ideality=1.5, i0_ref=1e-12, iph_per_klux=1e-4,
+                series_resistance=1.0, shunt_resistance=1e6,
+            )
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ModelParameterError):
+            CellParameters(
+                name="x", technology="asi", area_cm2=0.0, n_series=1,
+                ideality=1.5, i0_ref=1e-12, iph_per_klux=1e-4,
+                series_resistance=1.0, shunt_resistance=1e6,
+            )
+
+    def test_saturation_current_rejects_bad_temperature(self, am1815):
+        with pytest.raises(ModelParameterError):
+            am1815.saturation_current(-5.0)
+
+    def test_saturation_current_grows_with_temperature(self, am1815):
+        assert am1815.saturation_current(T_STC + 30.0) > am1815.saturation_current()

@@ -1,0 +1,66 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_every_command_registered(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args([name] if name not in ("fig4", "coldstart") else [name])
+            assert args.command == name
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available artefacts" in capsys.readouterr().out
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestFastCommands:
+    def test_budget(self, capsys):
+        assert main(["budget"]) == 0
+        out = capsys.readouterr().out
+        assert "7.6" in out
+
+    def test_design(self, capsys):
+        assert main(["design"]) == 0
+        out = capsys.readouterr().out
+        assert "Synthesised design" in out
+        assert "PASS" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "5000" in out
+
+    def test_montecarlo_with_boards(self, capsys):
+        assert main(["montecarlo", "--boards", "50"]) == 0
+        assert "mean k" in capsys.readouterr().out
+
+    def test_spectra(self, capsys):
+        assert main(["spectra"]) == 0
+        assert "outdoor-sun" in capsys.readouterr().out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "MPP" in capsys.readouterr().out
+
+    def test_teg(self, capsys):
+        assert main(["teg"]) == 0
+        assert "TEG" in capsys.readouterr().out
+
+    def test_fig4_with_lux(self, capsys):
+        assert main(["fig4", "--lux", "500"]) == 0
+        assert "PULSE width" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""Unit tests for the cold-start chain and the ACTIVE monitor."""
+
+import pytest
+
+from repro.core.coldstart import ActiveMonitor, ColdStartCircuit
+from repro.errors import ModelParameterError
+from repro.pv.cells import am_1815
+
+
+class TestColdStartCircuit:
+    def test_charges_and_powers_up_at_200_lux(self):
+        cs = ColdStartCircuit()
+        model = am_1815().model_at(200.0)
+        t = 0.0
+        while not cs.powered and t < 60.0:
+            cs.charge_step(model, dt=0.01)
+            t += 0.01
+        assert cs.powered
+        assert t < 5.0  # 10 uF at ~45 uA charges in well under a second
+        assert cs.voltage >= cs.turn_on_voltage * 0.99
+
+    def test_estimated_time_agrees_with_stepped_charge(self):
+        cs = ColdStartCircuit()
+        model = am_1815().model_at(200.0)
+        estimate = cs.estimated_cold_start_time(model)
+        t = 0.0
+        while not cs.powered and t < 60.0:
+            cs.charge_step(model, dt=0.001)
+            t += 0.001
+        assert t == pytest.approx(estimate, rel=0.15)
+
+    def test_cannot_start_in_darkness(self):
+        cs = ColdStartCircuit()
+        model = am_1815().model_at(1.0)  # ~1 lux: Voc below threshold+drop
+        assert cs.estimated_cold_start_time(model) == float("inf")
+
+    def test_hysteresis_brownout(self):
+        cs = ColdStartCircuit()
+        cs.voltage = cs.turn_on_voltage
+        model = am_1815().model_at(200.0)
+        cs.charge_step(model, dt=1e-6)
+        assert cs.powered
+        # Now a heavy metrology load in darkness drains C1.
+        dark = am_1815().model_at(0.5)
+        for _ in range(10000):
+            cs.charge_step(dark, dt=0.1, metrology_current=50e-6)
+            if not cs.powered:
+                break
+        assert not cs.powered
+        assert cs.voltage <= cs.turn_off_voltage + 0.01
+
+    def test_powered_state_survives_small_dips(self):
+        cs = ColdStartCircuit()
+        cs.voltage = cs.turn_on_voltage + 0.1
+        model = am_1815().model_at(200.0)
+        cs.charge_step(model, dt=1e-3)
+        assert cs.powered
+        cs.voltage = (cs.turn_on_voltage + cs.turn_off_voltage) / 2.0
+        cs.charge_step(model, dt=1e-3)
+        assert cs.powered  # between thresholds: stays up (hysteresis)
+
+    def test_reset(self):
+        cs = ColdStartCircuit()
+        cs.voltage = 3.0
+        cs._powered = True
+        cs.reset()
+        assert cs.voltage == 0.0
+        assert not cs.powered
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ModelParameterError):
+            ColdStartCircuit(turn_on_voltage=1.0, turn_off_voltage=2.0)
+
+    def test_rejects_negative_dt(self):
+        cs = ColdStartCircuit()
+        with pytest.raises(ModelParameterError):
+            cs.charge_step(am_1815().model_at(200.0), dt=-1.0)
+
+
+class TestActiveMonitor:
+    def test_active_high_for_valid_sample(self):
+        monitor = ActiveMonitor()
+        assert monitor.active(1.5)
+
+    def test_active_low_for_discharged_hold(self):
+        monitor = ActiveMonitor()
+        assert not monitor.active(0.0)
+        assert not monitor.active(monitor.threshold * 0.5)
+
+    def test_m8_inhibits_during_pulse(self):
+        monitor = ActiveMonitor()
+        assert monitor.converter_enabled(1.5, pulse_high=False)
+        assert not monitor.converter_enabled(1.5, pulse_high=True)
+
+    def test_threshold_is_fraction_of_supply(self):
+        monitor = ActiveMonitor(threshold_fraction=0.25, supply=3.3)
+        assert monitor.threshold == pytest.approx(0.825)
+
+    def test_supply_current_small(self):
+        monitor = ActiveMonitor()
+        assert monitor.supply_current() < 1e-6
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ModelParameterError):
+            ActiveMonitor(threshold_fraction=1.5)

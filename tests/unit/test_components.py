@@ -1,0 +1,124 @@
+"""Unit tests for passive components (R, C, divider) and dielectrics."""
+
+import math
+
+import pytest
+
+from repro.analog.components import (
+    CERAMIC_X7R,
+    ELECTROLYTIC,
+    POLYESTER_FILM,
+    Capacitor,
+    DielectricClass,
+    Resistor,
+    ResistiveDivider,
+)
+from repro.errors import ModelParameterError
+
+
+class TestResistor:
+    def test_ohms_law(self):
+        r = Resistor(10e3)
+        assert r.current(5.0) == pytest.approx(0.5e-3)
+        assert r.power(5.0) == pytest.approx(2.5e-3)
+
+    def test_temperature_coefficient(self):
+        r = Resistor(10e3, temp_coeff_ppm=100.0)
+        assert r.at_temperature(50.0) == pytest.approx(10e3 * 1.005)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelParameterError):
+            Resistor(0.0)
+
+    def test_rejects_silly_tolerance(self):
+        with pytest.raises(ModelParameterError):
+            Resistor(1e3, tolerance=1.5)
+
+
+class TestCapacitor:
+    def test_leakage_resistance_from_dielectric(self):
+        c = Capacitor(1e-6, dielectric=POLYESTER_FILM)
+        assert c.leakage_resistance == pytest.approx(
+            POLYESTER_FILM.insulation_ohm_farads / 1e-6
+        )
+
+    def test_droop_exponential_self_leakage(self):
+        c = Capacitor(1e-6, dielectric=POLYESTER_FILM)
+        tau = c.leakage_resistance * 1e-6
+        after = c.droop(2.0, tau)
+        assert after == pytest.approx(2.0 / math.e, rel=1e-9)
+
+    def test_droop_with_bias_current(self):
+        c = Capacitor(1e-6)
+        pure = c.droop(2.0, 10.0)
+        biased = c.droop(2.0, 10.0, external_bias_a=1e-9)
+        assert pure - biased == pytest.approx(1e-9 * 10.0 / 1e-6, rel=1e-9)
+
+    def test_droop_floors_at_zero(self):
+        c = Capacitor(1e-9)
+        assert c.droop(0.1, 1e6, external_bias_a=1e-3) == 0.0
+
+    def test_dielectric_ordering(self):
+        v, hold = 1.6, 69.0
+        droops = {
+            d.name: v - Capacitor(1e-6, dielectric=d).droop(v, hold)
+            for d in (POLYESTER_FILM, CERAMIC_X7R, ELECTROLYTIC)
+        }
+        assert droops["polyester-film"] < droops["ceramic-X7R"] < droops["aluminium-electrolytic"]
+
+    def test_polyester_droop_small_over_hold_period(self):
+        # The design-enabling fact: <1 % droop over the 69 s hold.
+        c = Capacitor(1e-6, dielectric=POLYESTER_FILM)
+        after = c.droop(1.62, 69.0)
+        assert (1.62 - after) / 1.62 < 0.01
+
+    def test_stored_energy(self):
+        c = Capacitor(2e-6)
+        assert c.stored_energy(3.0) == pytest.approx(0.5 * 2e-6 * 9.0)
+
+    def test_settle_time(self):
+        c = Capacitor(1e-6)
+        t = c.settle_time(1600.0, settle_fraction=1e-3)
+        assert t == pytest.approx(1600.0 * 1e-6 * math.log(1000.0), rel=1e-9)
+
+    def test_rejects_negative_hold(self):
+        with pytest.raises(ModelParameterError):
+            Capacitor(1e-6).droop(1.0, -1.0)
+
+    def test_rejects_bad_dielectric(self):
+        with pytest.raises(ModelParameterError):
+            DielectricClass(name="x", insulation_ohm_farads=0.0, dielectric_absorption=0.0)
+
+
+class TestResistiveDivider:
+    def test_ratio(self):
+        d = ResistiveDivider(top=Resistor(7.02e6), bottom=Resistor(2.98e6))
+        assert d.ratio == pytest.approx(0.298)
+        assert d.total_resistance == pytest.approx(10e6)
+
+    def test_from_ratio_roundtrip(self):
+        d = ResistiveDivider.from_ratio(0.2978, 10e6)
+        assert d.ratio == pytest.approx(0.2978, rel=1e-12)
+        assert d.total_resistance == pytest.approx(10e6, rel=1e-12)
+
+    def test_output_resistance_is_parallel_combination(self):
+        d = ResistiveDivider.from_ratio(0.5, 2e6)
+        assert d.output_resistance == pytest.approx(0.5e6)
+
+    def test_loaded_ratio_droops(self):
+        d = ResistiveDivider.from_ratio(0.5, 2e6)
+        assert d.loaded_ratio(1e6) < 0.5
+        assert d.loaded_ratio(1e12) == pytest.approx(0.5, rel=1e-5)
+
+    def test_input_current(self):
+        d = ResistiveDivider.from_ratio(0.298, 10e6)
+        assert d.input_current(5.0) == pytest.approx(0.5e-6)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ModelParameterError):
+            ResistiveDivider.from_ratio(1.0, 1e6)
+
+    def test_rejects_bad_load(self):
+        d = ResistiveDivider.from_ratio(0.5, 1e6)
+        with pytest.raises(ModelParameterError):
+            d.loaded_ratio(0.0)

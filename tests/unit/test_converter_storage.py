@@ -1,0 +1,152 @@
+"""Unit tests for the buck-boost converter and energy stores."""
+
+import pytest
+
+from repro.converter.buck_boost import BuckBoostConverter
+from repro.converter.efficiency import ConverterLossModel
+from repro.errors import ModelParameterError
+from repro.storage.battery import IdealBattery
+from repro.storage.supercap import Supercapacitor
+
+
+class TestLossModel:
+    def test_efficiency_curve_shape(self):
+        losses = ConverterLossModel()
+        # Rising at low power (fixed losses dominate), high plateau,
+        # drooping at very high power (conduction losses dominate).
+        low = losses.efficiency(10e-6, 3.0)
+        mid = losses.efficiency(0.2e-3, 3.0)
+        plateau = losses.efficiency(3e-3, 3.0)
+        huge = losses.efficiency(3.0, 3.0)
+        assert low < mid < plateau
+        assert huge < plateau
+
+    def test_fixed_loss_dominates_microwatts(self):
+        losses = ConverterLossModel(fixed_power=2e-6)
+        assert losses.efficiency(4e-6, 3.0) < 0.5
+
+    def test_zero_power_zero_loss(self):
+        assert ConverterLossModel().loss(0.0, 3.0) == 0.0
+        assert ConverterLossModel().efficiency(0.0, 3.0) == 0.0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ModelParameterError):
+            ConverterLossModel().loss(-1.0, 3.0)
+
+    def test_rejects_bad_voltage(self):
+        with pytest.raises(ModelParameterError):
+            ConverterLossModel().loss(1e-3, 0.0)
+
+    def test_efficiency_clamped(self):
+        losses = ConverterLossModel(fixed_power=1.0)
+        assert losses.efficiency(0.5, 3.0) == 0.0
+
+
+class TestBuckBoost:
+    def test_output_below_input(self):
+        c = BuckBoostConverter()
+        p_out = c.output_power(1e-3, 3.0, 3.0)
+        assert 0.0 < p_out < 1e-3
+
+    def test_disabled_transfers_nothing(self):
+        c = BuckBoostConverter(enabled=False)
+        assert c.output_power(1e-3, 3.0, 3.0) == 0.0
+
+    def test_below_min_input_transfers_nothing(self):
+        c = BuckBoostConverter(min_input_voltage=1.0)
+        assert c.output_power(1e-3, 0.5, 3.0) == 0.0
+
+    def test_input_current_regulation_band(self):
+        c = BuckBoostConverter(hysteresis=0.05, max_input_current=2e-3)
+        ref = 3.0
+        assert c.input_current(ref - 0.05, ref) == 0.0
+        assert c.input_current(ref + 0.05, ref) == pytest.approx(2e-3)
+        mid = c.input_current(ref, ref)
+        assert 0.0 < mid < 2e-3
+
+    def test_input_current_zero_when_disabled(self):
+        c = BuckBoostConverter(enabled=False)
+        assert c.input_current(5.0, 3.0) == 0.0
+        assert not c.running
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelParameterError):
+            BuckBoostConverter(min_input_voltage=0.0)
+        with pytest.raises(ModelParameterError):
+            BuckBoostConverter(max_input_current=0.0)
+
+
+class TestSupercapacitor:
+    def test_charge_raises_voltage(self):
+        cap = Supercapacitor(capacitance=1.0, voltage=1.0)
+        cap.exchange(1.0, 10.0)  # 10 J at the terminal, less ESR loss
+        # 0.5*C*(V^2 - 1) ~ 10 J -> V ~ sqrt(21) = 4.58 before losses.
+        assert 3.0 < cap.voltage < 4.7
+
+    def test_discharge_lowers_voltage(self):
+        cap = Supercapacitor(capacitance=1.0, voltage=3.0)
+        cap.exchange(-0.5, 2.0)
+        assert cap.voltage < 3.0
+
+    def test_clamps_at_rated_voltage(self):
+        cap = Supercapacitor(capacitance=0.01, rated_voltage=5.0, voltage=4.9)
+        accepted = cap.exchange(10.0, 10.0)
+        assert cap.voltage == pytest.approx(5.0)
+        assert accepted < 10.0
+
+    def test_cannot_go_below_empty(self):
+        cap = Supercapacitor(capacitance=0.01, voltage=0.5)
+        delivered = cap.exchange(-100.0, 10.0)
+        assert cap.voltage == 0.0
+        assert delivered > -100.0  # only what it had
+
+    def test_leakage_discharges_over_time(self):
+        cap = Supercapacitor(capacitance=0.1, voltage=5.0, leakage_current=1e-4)
+        for _ in range(100):
+            cap.exchange(0.0, 60.0)
+        assert cap.voltage < 5.0
+
+    def test_esr_burns_energy_on_charge(self):
+        lossless = Supercapacitor(capacitance=1.0, voltage=2.0, esr=0.0, leakage_current=0.0)
+        lossy = Supercapacitor(capacitance=1.0, voltage=2.0, esr=10.0, leakage_current=0.0)
+        lossless.exchange(0.01, 100.0)
+        lossy.exchange(0.01, 100.0)
+        assert lossy.stored_energy < lossless.stored_energy
+
+    def test_time_to_voltage_estimate(self):
+        cap = Supercapacitor(capacitance=1.0, voltage=1.0)
+        t = cap.time_to_voltage(2.0, power=0.5)
+        assert t == pytest.approx(0.5 * (4.0 - 1.0) / 0.5)
+
+    def test_rejects_overfull_initial(self):
+        with pytest.raises(ModelParameterError):
+            Supercapacitor(capacitance=1.0, rated_voltage=5.0, voltage=6.0)
+
+
+class TestIdealBattery:
+    def test_constant_voltage(self):
+        batt = IdealBattery(nominal_voltage=3.0, state_of_charge=0.5)
+        assert batt.voltage == 3.0
+        batt.exchange(1.0, 10.0)
+        assert batt.voltage == 3.0
+
+    def test_charge_efficiency_applied(self):
+        batt = IdealBattery(capacity_joules=100.0, charge_efficiency=0.9, state_of_charge=0.0)
+        batt.exchange(1.0, 10.0)  # 10 J at the terminal
+        assert batt.stored_energy == pytest.approx(9.0)
+
+    def test_clamps_full(self):
+        batt = IdealBattery(capacity_joules=10.0, state_of_charge=0.99)
+        batt.exchange(100.0, 10.0)
+        assert batt.state_of_charge == pytest.approx(1.0)
+
+    def test_empty_battery_reads_zero_volts(self):
+        batt = IdealBattery(capacity_joules=1.0, state_of_charge=0.01)
+        batt.exchange(-10.0, 10.0)
+        assert batt.state_of_charge == pytest.approx(0.0)
+        assert batt.voltage == 0.0
+
+    def test_discharge_returns_only_available(self):
+        batt = IdealBattery(capacity_joules=10.0, state_of_charge=0.1)
+        drawn = batt.exchange(-100.0, 1.0)
+        assert drawn == pytest.approx(-1.0)

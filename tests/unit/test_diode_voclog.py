@@ -1,0 +1,105 @@
+"""Unit tests for the junction diode model and VocLog CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.analog.diode import SCHOTTKY_SMALL_SIGNAL, SILICON_SMALL_SIGNAL, Diode, DiodeSpec
+from repro.analog.mna import Circuit
+from repro.errors import ModelParameterError
+from repro.experiments import fig2
+
+
+class TestDiode:
+    def test_negligible_reverse_current(self):
+        d = Diode()
+        assert abs(d.current(-1.0)) < 1e-8
+
+    def test_forward_knee_location(self):
+        silicon = Diode(SILICON_SMALL_SIGNAL)
+        schottky = Diode(SCHOTTKY_SMALL_SIGNAL)
+        # Classic figures: silicon conducts 1 mA around 0.6-0.8 V,
+        # a Schottky around 0.25-0.45 V.
+        assert 0.55 < silicon.forward_drop(1e-3) < 0.85
+        assert 0.2 < schottky.forward_drop(1e-3) < 0.5
+
+    def test_current_voltage_roundtrip(self):
+        d = Diode()
+        for i in (1e-6, 1e-4, 1e-2):
+            v = d.forward_drop(i)
+            assert d.current(v) == pytest.approx(i, rel=1e-6)
+
+    def test_current_monotone(self):
+        d = Diode()
+        voltages = np.linspace(0.0, 1.0, 30)
+        currents = [d.current(v) for v in voltages]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_conductance_positive_forward(self):
+        d = Diode()
+        assert d.conductance(0.6) > 0.0
+
+    def test_series_resistance_limits_slope(self):
+        low_rs = Diode(DiodeSpec(name="x", series_resistance=0.1))
+        high_rs = Diode(DiodeSpec(name="y", series_resistance=100.0))
+        assert low_rs.current(1.0) > high_rs.current(1.0)
+
+    def test_in_mna_circuit(self):
+        # 5 V through 1 kOhm into a silicon diode: ~4.3 mA, ~0.7 V.
+        c = Circuit()
+        c.add_voltage_source("in", "0", 5.0)
+        c.add_resistor("in", "d", 1000.0)
+        Diode().add_to_circuit(c, "d", "0")
+        sol = c.solve_dc()
+        assert 0.55 < sol["d"] < 0.85
+        i_resistor = (5.0 - sol["d"]) / 1000.0
+        assert i_resistor == pytest.approx(Diode().current(sol["d"]), rel=1e-4)
+
+    def test_forward_drop_rejects_nonpositive(self):
+        with pytest.raises(ModelParameterError):
+            Diode().forward_drop(0.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ModelParameterError):
+            DiodeSpec(name="bad", saturation_current=0.0)
+
+
+class TestVocLogCsv:
+    def test_roundtrip(self, tmp_path):
+        log = fig2.run_log("desk", dt=600.0)
+        path = tmp_path / "log.csv"
+        log.to_csv(path)
+        loaded = fig2.VocLog.from_csv(path)
+        assert loaded.name == "desk"
+        assert loaded.dt == pytest.approx(600.0)
+        assert np.allclose(loaded.voc, log.voc, rtol=1e-4)
+        assert np.allclose(loaded.lux, log.lux, rtol=1e-4)
+
+    def test_imported_log_feeds_eq2(self, tmp_path):
+        from repro.experiments import sec2b
+
+        log = fig2.run_log("desk", dt=60.0)
+        path = tmp_path / "log.csv"
+        log.to_csv(path)
+        loaded = fig2.VocLog.from_csv(path)
+        direct = sec2b.analyse_log(log, 300.0)
+        via_csv = sec2b.analyse_log(loaded, 300.0)
+        assert via_csv.mean_error_v == pytest.approx(direct.mean_error_v, rel=1e-3)
+
+    def test_name_override(self, tmp_path):
+        log = fig2.run_log("desk", dt=600.0)
+        path = tmp_path / "log.csv"
+        log.to_csv(path)
+        loaded = fig2.VocLog.from_csv(path, name="my-site")
+        assert loaded.name == "my-site"
+
+    def test_nonuniform_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,lux,voc\n0,1,1\n1,1,1\n5,1,1\n")
+        with pytest.raises(ValueError):
+            fig2.VocLog.from_csv(path)
+
+    def test_too_short_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("time,lux,voc\n0,1,1\n")
+        with pytest.raises(ValueError):
+            fig2.VocLog.from_csv(path)

@@ -1,0 +1,82 @@
+"""Unit tests for the operating-envelope experiment and CSV trace export."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.experiments import envelope
+from repro.sim.traces import TraceSet
+
+
+class TestEnvelope:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return envelope.run_envelope(
+            lux_levels=(200.0, 1000.0, 10000.0), temperatures_c=(0.0, 25.0, 55.0)
+        )
+
+    def test_grid_shape(self, result):
+        assert result.efficiency.shape == (3, 3)
+
+    def test_efficiency_bounded(self, result):
+        assert np.all(result.efficiency > 0.0)
+        assert np.all(result.efficiency <= 1.0)
+
+    def test_no_cliff(self, result):
+        assert result.worst > 0.5
+
+    def test_trim_choice_matters(self):
+        low = envelope.run_envelope(
+            ratio=0.45, lux_levels=(200.0,), temperatures_c=(25.0,)
+        )
+        good = envelope.run_envelope(
+            ratio=0.80, lux_levels=(200.0,), temperatures_c=(25.0,)
+        )
+        assert good.efficiency[0, 0] > low.efficiency[0, 0]
+
+    def test_render(self, result):
+        text = envelope.render(result)
+        assert "operating envelope" in text
+        assert "trim k" in text
+
+
+class TestTraceCsv:
+    def make_traces(self):
+        ts = TraceSet()
+        for t in range(4):
+            ts.record("a", float(t), t * 2.0)
+            ts.record("b", float(t) + 0.5, t * 3.0)
+        return ts
+
+    def test_csv_roundtrip(self, tmp_path):
+        ts = self.make_traces()
+        path = tmp_path / "out.csv"
+        ts.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "time,a,b"
+        # Union time base: 4 + 4 distinct times.
+        assert len(lines) == 1 + 8
+
+    def test_subset_export(self, tmp_path):
+        ts = self.make_traces()
+        path = tmp_path / "subset.csv"
+        ts.to_csv(path, names=["a"])
+        assert path.read_text().splitlines()[0] == "time,a"
+
+    def test_missing_trace_rejected(self, tmp_path):
+        ts = self.make_traces()
+        with pytest.raises(TraceError):
+            ts.to_csv(tmp_path / "x.csv", names=["nope"])
+
+    def test_empty_set_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            TraceSet().to_csv(tmp_path / "x.csv")
+
+    def test_values_interpolated(self, tmp_path):
+        ts = self.make_traces()
+        path = tmp_path / "interp.csv"
+        ts.to_csv(path)
+        rows = [line.split(",") for line in path.read_text().strip().splitlines()[1:]]
+        by_time = {float(r[0]): (float(r[1]), float(r[2])) for r in rows}
+        # At t=0.5, trace 'a' interpolates between 0 and 2.
+        assert by_time[0.5][0] == pytest.approx(1.0)

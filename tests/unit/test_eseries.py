@@ -1,0 +1,89 @@
+"""Unit tests for E-series standard values."""
+
+import pytest
+
+from repro.analog.eseries import (
+    E12,
+    E24,
+    E96,
+    best_ratio_pair,
+    nearest_value,
+    round_to_series,
+    rounding_error,
+    series_values,
+)
+from repro.errors import ModelParameterError
+
+
+class TestSeries:
+    def test_series_lengths(self):
+        assert len(E12) == 12
+        assert len(E24) == 24
+        assert len(E96) == 96
+
+    def test_series_sorted_within_decade(self):
+        for series in (E12, E24, E96):
+            assert list(series) == sorted(series)
+            assert series[0] == 1.0
+            assert series[-1] < 10.0
+
+    def test_lookup_by_name(self):
+        assert series_values("E24") is E24
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(ModelParameterError):
+            series_values("E13")
+
+
+class TestNearestValue:
+    def test_exact_values_stay(self):
+        assert nearest_value(4.7e3, "E24") == pytest.approx(4.7e3)
+        assert nearest_value(82.0, "E12") == pytest.approx(82.0)
+
+    def test_rounds_to_neighbours(self):
+        assert nearest_value(4.8e3, "E24") == pytest.approx(4.7e3)
+        assert nearest_value(5.0e3, "E24") == pytest.approx(5.1e3)
+
+    def test_crosses_decade_boundaries(self):
+        assert nearest_value(9.8, "E24") == pytest.approx(10.0)
+        assert nearest_value(1.02, "E24") == pytest.approx(1.0)
+
+    def test_any_magnitude(self):
+        assert nearest_value(3.3e-6, "E24") == pytest.approx(3.3e-6)
+        assert nearest_value(2.35e8, "E24") == pytest.approx(2.4e8)
+
+    def test_e96_is_finer(self):
+        target = 5.32e3
+        assert abs(rounding_error(target, "E96")) <= abs(rounding_error(target, "E24"))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelParameterError):
+            nearest_value(0.0)
+
+    def test_round_to_series_list(self):
+        out = round_to_series([1.05e3, 2.6e3], "E24")
+        assert out == [pytest.approx(1.1e3), pytest.approx(2.7e3)]
+
+
+class TestBestRatioPair:
+    def test_achieves_ratio_within_2_percent(self):
+        for ratio in (0.298, 0.397, 0.5, 0.75):
+            top, bottom = best_ratio_pair(ratio, 10e6, "E24")
+            achieved = bottom / (top + bottom)
+            assert achieved == pytest.approx(ratio, rel=0.02)
+
+    def test_keeps_impedance_class(self):
+        top, bottom = best_ratio_pair(0.3, 10e6, "E24")
+        assert 3e6 < top + bottom < 30e6
+
+    def test_e96_beats_e12(self):
+        ratio = 0.2978
+        t12, b12 = best_ratio_pair(ratio, 10e6, "E12")
+        t96, b96 = best_ratio_pair(ratio, 10e6, "E96")
+        err12 = abs(b12 / (t12 + b12) - ratio)
+        err96 = abs(b96 / (t96 + b96) - ratio)
+        assert err96 <= err12
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ModelParameterError):
+            best_ratio_pair(1.5, 1e6)

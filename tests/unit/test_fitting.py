@@ -1,0 +1,89 @@
+"""Unit tests for single-diode parameter extraction."""
+
+import pytest
+
+from repro.errors import ConvergenceError, ModelParameterError
+from repro.pv.cells import am_1815
+from repro.pv.fitting import FitTarget, am_1815_targets, fit_cell_parameters
+
+
+class TestFitTarget:
+    def test_valid_kinds(self):
+        FitTarget(lux=100.0, kind="voc", value=5.0)
+        FitTarget(lux=100.0, kind="isc", value=1e-5)
+        FitTarget(lux=100.0, kind="i_at_v", value=1e-5, voltage=3.0)
+        FitTarget(lux=100.0, kind="k", value=0.7)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelParameterError):
+            FitTarget(lux=100.0, kind="fill_factor", value=0.5)
+
+    def test_i_at_v_needs_voltage(self):
+        with pytest.raises(ModelParameterError):
+            FitTarget(lux=100.0, kind="i_at_v", value=1e-5)
+
+    def test_rejects_bad_lux(self):
+        with pytest.raises(ModelParameterError):
+            FitTarget(lux=0.0, kind="voc", value=5.0)
+
+
+class TestFitCellParameters:
+    def test_recovers_am1815_class_model(self):
+        # Fit against the library targets and verify the result hits them.
+        result = fit_cell_parameters(am_1815_targets(), n_series=6, name="refit-1815")
+        assert result.worst_residual < 0.05
+        cell = result.cell
+        assert cell.voc(200.0) == pytest.approx(4.978, rel=0.01)
+        assert cell.isc(200.0) == pytest.approx(50e-6, rel=0.05)
+        assert float(cell.model_at(200.0).current_at(3.0)) == pytest.approx(42e-6, rel=0.05)
+
+    def test_refit_agrees_with_library_calibration(self):
+        result = fit_cell_parameters(am_1815_targets(), n_series=6)
+        library = am_1815()
+        for lux in (200.0, 1000.0, 5000.0):
+            assert result.cell.voc(lux) == pytest.approx(library.voc(lux), rel=0.02)
+
+    def test_synthetic_roundtrip(self):
+        # Generate targets from a known cell, fit, and compare curves.
+        truth = am_1815()
+        targets = [
+            FitTarget(lux=lux, kind="voc", value=truth.voc(lux), weight=4.0)
+            for lux in (100.0, 300.0, 1000.0, 3000.0)
+        ]
+        targets += [
+            FitTarget(lux=lux, kind="isc", value=truth.isc(lux), weight=4.0)
+            for lux in (100.0, 1000.0)
+        ]
+        targets.append(
+            FitTarget(lux=500.0, kind="i_at_v", value=float(truth.model_at(500.0).current_at(3.5)),
+                      voltage=3.5, weight=4.0)
+        )
+        result = fit_cell_parameters(targets, n_series=6)
+        for lux in (150.0, 700.0, 2000.0):
+            assert result.cell.mpp(lux).power == pytest.approx(
+                truth.mpp(lux).power, rel=0.1
+            )
+
+    def test_inconsistent_targets_raise(self):
+        # An MPP-at-operating-point set that single-diode physics cannot
+        # satisfy (see DESIGN.md section 6).
+        targets = [
+            FitTarget(lux=200.0, kind="voc", value=4.978, weight=8.0),
+            FitTarget(lux=200.0, kind="isc", value=50e-6, weight=8.0),
+            FitTarget(lux=200.0, kind="i_at_v", value=42e-6, voltage=3.0, weight=8.0),
+            FitTarget(lux=200.0, kind="k", value=0.3, weight=8.0),  # absurd k
+        ]
+        with pytest.raises(ConvergenceError):
+            fit_cell_parameters(targets, n_series=6, max_nfev=150)
+
+    def test_needs_targets(self):
+        with pytest.raises(ModelParameterError):
+            fit_cell_parameters([], n_series=6)
+
+    def test_initial_guess_honoured(self):
+        result = fit_cell_parameters(
+            am_1815_targets(),
+            n_series=6,
+            initial_guess=(2.5e-4, 1.6e-12, 1.9, 1400.0, 19.0),
+        )
+        assert result.worst_residual < 0.05

@@ -1,0 +1,87 @@
+"""Unit tests for light sources and photocurrent conversion."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.pv.irradiance import (
+    DAYLIGHT,
+    FLUORESCENT,
+    INCANDESCENT,
+    WHITE_LED,
+    LightSource,
+    photocurrent_from_lux,
+    source_by_name,
+)
+
+
+class TestLightSource:
+    def test_builtin_lookup(self):
+        assert source_by_name("fluorescent") is FLUORESCENT
+        assert source_by_name("daylight") is DAYLIGHT
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ModelParameterError):
+            source_by_name("moonlight")
+
+    def test_irradiance_from_lux(self):
+        assert FLUORESCENT.irradiance_from_lux(340.0) == pytest.approx(1.0)
+
+    def test_negative_lux_rejected(self):
+        with pytest.raises(ModelParameterError):
+            FLUORESCENT.irradiance_from_lux(-1.0)
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ModelParameterError):
+            FLUORESCENT.utilisation_for("quantum-dot")
+
+    def test_bad_efficacy_rejected(self):
+        with pytest.raises(ModelParameterError):
+            LightSource(name="x", efficacy_lm_per_w=0.0)
+
+    def test_bad_utilisation_rejected(self):
+        with pytest.raises(ModelParameterError):
+            LightSource(name="x", efficacy_lm_per_w=100.0, asi_utilisation=0.0)
+
+
+class TestPhotocurrent:
+    def test_fluorescent_is_the_calibration_identity(self):
+        # 1000 lux fluorescent gives exactly iph_per_klux.
+        assert photocurrent_from_lux(1000.0, 2.5e-4, FLUORESCENT, "asi") == pytest.approx(2.5e-4)
+
+    def test_linear_in_lux(self):
+        one = photocurrent_from_lux(100.0, 1e-4)
+        ten = photocurrent_from_lux(1000.0, 1e-4)
+        assert ten == pytest.approx(10.0 * one)
+
+    def test_daylight_per_lux_exceeds_fluorescent_for_asi(self):
+        fluor = photocurrent_from_lux(500.0, 1e-4, FLUORESCENT, "asi")
+        day = photocurrent_from_lux(500.0, 1e-4, DAYLIGHT, "asi")
+        assert 1.0 < day / fluor < 2.0
+
+    def test_incandescent_not_a_windfall_for_asi(self):
+        # Despite its huge radiant power per lux, a-Si can use little of
+        # an incandescent spectrum: per-lux response close to fluorescent.
+        fluor = photocurrent_from_lux(500.0, 1e-4, FLUORESCENT, "asi")
+        inc = photocurrent_from_lux(500.0, 1e-4, INCANDESCENT, "asi")
+        assert 0.4 < inc / fluor < 1.5
+
+    def test_led_similar_to_fluorescent_for_asi(self):
+        fluor = photocurrent_from_lux(500.0, 1e-4, FLUORESCENT, "asi")
+        led = photocurrent_from_lux(500.0, 1e-4, WHITE_LED, "asi")
+        assert led == pytest.approx(fluor, rel=0.3)
+
+    def test_csi_prefers_daylight_strongly(self):
+        fluor = photocurrent_from_lux(500.0, 1e-4, FLUORESCENT, "csi")
+        day = photocurrent_from_lux(500.0, 1e-4, DAYLIGHT, "csi")
+        assert day / fluor > 3.0
+
+    def test_zero_lux_gives_zero(self):
+        assert photocurrent_from_lux(0.0, 1e-4) == 0.0
+
+    def test_rejects_bad_calibration(self):
+        with pytest.raises(ModelParameterError):
+            photocurrent_from_lux(100.0, 0.0)
+
+    def test_rejects_negative_lux(self):
+        with pytest.raises(ModelParameterError):
+            photocurrent_from_lux(-1.0, 1e-4)

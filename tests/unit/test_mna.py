@@ -1,0 +1,150 @@
+"""Unit tests for the MNA DC solver."""
+
+import pytest
+
+from repro.analog.mna import Circuit
+from repro.errors import ConvergenceError, ModelParameterError
+from repro.pv.cells import am_1815
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.add_voltage_source("in", "0", 10.0)
+        c.add_resistor("in", "mid", 3000.0)
+        c.add_resistor("mid", "0", 1000.0)
+        sol = c.solve_dc()
+        assert sol["mid"] == pytest.approx(2.5)
+        assert sol["in"] == pytest.approx(10.0)
+
+    def test_ground_aliases(self):
+        c = Circuit()
+        c.add_voltage_source("a", "gnd", 5.0)
+        c.add_resistor("a", "GND", 1000.0)
+        sol = c.solve_dc()
+        assert sol["a"] == pytest.approx(5.0)
+        assert sol["gnd"] == 0.0
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add_current_source("0", "n", 1e-3)
+        c.add_resistor("n", "0", 2000.0)
+        sol = c.solve_dc()
+        assert sol["n"] == pytest.approx(2.0)
+
+    def test_source_current_reported(self):
+        c = Circuit()
+        c.add_voltage_source("a", "0", 10.0, name="V1")
+        c.add_resistor("a", "0", 1000.0)
+        sol = c.solve_dc()
+        # MNA convention: source current flows from + through the source.
+        assert abs(sol.source_current("V1")) == pytest.approx(10e-3)
+
+    def test_kcl_at_internal_node(self):
+        c = Circuit()
+        c.add_voltage_source("a", "0", 6.0)
+        c.add_resistor("a", "n", 1000.0)
+        c.add_resistor("n", "0", 1000.0)
+        c.add_resistor("n", "0", 2000.0)
+        sol = c.solve_dc()
+        v = sol["n"]
+        into = (6.0 - v) / 1000.0
+        out = v / 1000.0 + v / 2000.0
+        assert into == pytest.approx(out, rel=1e-12)
+
+    def test_two_voltage_sources(self):
+        c = Circuit()
+        c.add_voltage_source("a", "0", 5.0)
+        c.add_voltage_source("b", "0", 3.0)
+        c.add_resistor("a", "b", 1000.0)
+        sol = c.solve_dc()
+        assert sol["a"] == pytest.approx(5.0)
+        assert sol["b"] == pytest.approx(3.0)
+
+    def test_duplicate_source_names_rejected(self):
+        c = Circuit()
+        c.add_voltage_source("a", "0", 1.0, name="V")
+        with pytest.raises(ModelParameterError):
+            c.add_voltage_source("b", "0", 2.0, name="V")
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ModelParameterError):
+            Circuit().solve_dc()
+
+    def test_bad_resistor_rejected(self):
+        with pytest.raises(ModelParameterError):
+            Circuit().add_resistor("a", "b", 0.0)
+
+    def test_floating_node_is_singular(self):
+        c = Circuit()
+        c.add_voltage_source("a", "0", 1.0)
+        c.add_resistor("b", "c", 1000.0)  # disconnected island
+        with pytest.raises(ModelParameterError):
+            c.solve_dc()
+
+
+class TestNonlinear:
+    def test_diode_clamp(self):
+        # Exponential diode from node to ground behind a resistor: the
+        # node should clamp near the diode's knee.
+        import math
+
+        i_s, vt = 1e-12, 0.025
+
+        def current(v):
+            return i_s * math.expm1(min(v, 1.5) / vt)
+
+        def conductance(v):
+            return (i_s / vt) * math.exp(min(v, 1.5) / vt)
+
+        c = Circuit()
+        c.add_voltage_source("in", "0", 5.0)
+        c.add_resistor("in", "d", 10e3)
+        c.add_nonlinear("d", "0", current, conductance)
+        sol = c.solve_dc()
+        assert 0.45 < sol["d"] < 0.8
+        # KCL: resistor current equals diode current.
+        assert (5.0 - sol["d"]) / 10e3 == pytest.approx(current(sol["d"]), rel=1e-6)
+
+    def test_pv_cell_open_circuit(self):
+        model = am_1815().model_at(500.0)
+        c = Circuit()
+        c.add_pv_cell("pv", "0", model)
+        c.add_resistor("pv", "0", 1e12)  # essentially open
+        sol = c.solve_dc(initial_guess={"pv": model.voc()})
+        assert sol["pv"] == pytest.approx(model.voc(), rel=1e-4)
+
+    def test_pv_cell_loaded_by_divider_sits_below_voc(self):
+        model = am_1815().model_at(200.0)
+        c = Circuit()
+        c.add_pv_cell("pv", "0", model)
+        c.add_resistor("pv", "tap", 7.02e6)
+        c.add_resistor("tap", "0", 2.98e6)
+        sol = c.solve_dc(initial_guess={"pv": model.voc()})
+        voc = model.voc()
+        assert sol["pv"] < voc
+        assert sol["pv"] > voc - 0.1  # light loading only
+        assert sol["tap"] == pytest.approx(sol["pv"] * 0.298, rel=1e-9)
+
+    def test_convergence_failure_reported(self):
+        # A pathological non-smooth element that flips sign each call.
+        state = {"flip": 1.0}
+
+        def current(v):
+            state["flip"] = -state["flip"]
+            return state["flip"] * 1e3
+
+        def conductance(v):
+            return 1e-12
+
+        c = Circuit()
+        c.add_voltage_source("a", "0", 1.0)
+        c.add_resistor("a", "n", 1.0)
+        c.add_nonlinear("n", "0", current, conductance)
+        with pytest.raises(ConvergenceError):
+            c.solve_dc(max_iterations=5)
+
+    def test_node_names_listed(self):
+        c = Circuit()
+        c.add_resistor("x", "y", 1.0)
+        assert c.node_names == ("x", "y")

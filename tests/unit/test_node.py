@@ -1,0 +1,109 @@
+"""Unit tests for the sensor-node load models."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.node.loads import DutyCycledLoad, NodeState
+from repro.node.radio import LOW_POWER_RADIO, RadioModel
+from repro.node.sensor_node import SensorNode
+
+
+class TestRadio:
+    def test_airtime_scales_with_payload(self):
+        short = LOW_POWER_RADIO.packet_airtime(8)
+        long = LOW_POWER_RADIO.packet_airtime(100)
+        assert long > short
+        # 250 kbit/s: (8+23)*8 bits -> ~1 ms.
+        assert short == pytest.approx((8 + 23) * 8 / 250e3, rel=1e-9)
+
+    def test_transmit_energy_millijoule_scale(self):
+        energy = LOW_POWER_RADIO.transmit_energy(12)
+        assert 10e-6 < energy < 1e-3
+
+    def test_startup_dominates_small_packets(self):
+        radio = LOW_POWER_RADIO
+        startup = radio.startup_time * radio.startup_current * radio.supply
+        airtime_energy = radio.packet_airtime(1) * radio.tx_current * radio.supply
+        assert startup > airtime_energy
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ModelParameterError):
+            LOW_POWER_RADIO.packet_airtime(-1)
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ModelParameterError):
+            RadioModel(name="x", tx_current=0.0, rx_current=1e-3)
+
+
+class TestDutyCycledLoad:
+    def load(self):
+        return DutyCycledLoad(
+            period=10.0,
+            phases=[
+                (NodeState.SENSE, 0.1, 1e-3),
+                (NodeState.TRANSMIT, 0.05, 30e-3),
+            ],
+            sleep_power=5e-6,
+        )
+
+    def test_phase_power_lookup(self):
+        load = self.load()
+        assert load(0.05) == 1e-3
+        assert load(0.12) == 30e-3
+        assert load(5.0) == 5e-6
+
+    def test_periodic(self):
+        load = self.load()
+        assert load(10.05) == load(0.05)
+
+    def test_state_lookup(self):
+        load = self.load()
+        assert load.state_at(0.05) is NodeState.SENSE
+        assert load.state_at(0.12) is NodeState.TRANSMIT
+        assert load.state_at(8.0) is NodeState.SLEEP
+
+    def test_average_power(self):
+        load = self.load()
+        expected = (0.1 * 1e-3 + 0.05 * 30e-3 + 9.85 * 5e-6) / 10.0
+        assert load.average_power() == pytest.approx(expected, rel=1e-9)
+
+    def test_duty_cycle(self):
+        assert self.load().duty_cycle() == pytest.approx(0.015)
+
+    def test_rejects_overlong_phases(self):
+        with pytest.raises(ModelParameterError):
+            DutyCycledLoad(period=1.0, phases=[(NodeState.SENSE, 2.0, 1e-3)])
+
+
+class TestSensorNode:
+    def test_average_power_reasonable(self):
+        node = SensorNode(report_period=60.0)
+        avg = node.average_power()
+        assert 4e-6 < avg < 100e-6  # duty-cycled WSN node scale
+
+    def test_faster_reporting_costs_more(self):
+        slow = SensorNode(report_period=300.0).average_power()
+        fast = SensorNode(report_period=10.0).average_power()
+        assert fast > slow
+
+    def test_energy_per_report_independent_of_period(self):
+        a = SensorNode(report_period=10.0).energy_per_report()
+        b = SensorNode(report_period=600.0).energy_per_report()
+        assert a == pytest.approx(b)
+
+    def test_neutral_period_balances_budget(self):
+        node = SensorNode()
+        harvest = 50e-6
+        period = node.neutral_report_period(harvest)
+        balanced = SensorNode(report_period=period)
+        assert balanced.average_power() == pytest.approx(harvest, rel=0.01)
+
+    def test_neutral_period_impossible_below_sleep_floor(self):
+        node = SensorNode(sleep_power=10e-6)
+        with pytest.raises(ModelParameterError):
+            node.neutral_report_period(5e-6)
+
+    def test_load_callable_for_simulator(self):
+        node = SensorNode(report_period=30.0)
+        load = node.load()
+        assert load(0.001) > load(15.0)

@@ -1,0 +1,133 @@
+"""Unit tests for the sample-and-hold chain."""
+
+import pytest
+
+from repro.analog.components import CERAMIC_X7R, Capacitor, ResistiveDivider
+from repro.core.sample_hold import SampleHoldCircuit
+from repro.errors import ModelParameterError
+from repro.pv.cells import am_1815
+
+
+@pytest.fixture
+def sh():
+    return SampleHoldCircuit()
+
+
+@pytest.fixture
+def model():
+    return am_1815().model_at(1000.0)
+
+
+class TestSampling:
+    def test_sample_lands_near_design_ratio(self, sh, model):
+        result = sh.sample(model, pulse_width=39e-3)
+        assert result.effective_ratio == pytest.approx(sh.nominal_ratio, rel=0.01)
+
+    def test_held_sample_tracks_table1_values(self, sh):
+        # Table I at 1000 lux: HELD = 1.624 V for Voc = 5.44 V.
+        model = am_1815().model_at(1000.0)
+        result = sh.sample(model, pulse_width=39e-3)
+        assert result.held_voltage == pytest.approx(1.624, abs=0.02)
+
+    def test_loading_pulls_pv_below_voc(self, sh, model):
+        result = sh.sample(model, pulse_width=39e-3)
+        assert result.loaded_pv_voltage < result.true_voc
+        assert result.true_voc - result.loaded_pv_voltage < 0.05
+
+    def test_settle_fraction_near_one_for_39ms(self, sh, model):
+        result = sh.sample(model, pulse_width=39e-3)
+        assert result.settle_fraction > 0.999
+
+    def test_short_pulse_undersamples(self, model):
+        sh = SampleHoldCircuit()
+        result = sh.sample(model, pulse_width=0.5e-3)
+        assert result.settle_fraction < 0.5
+        assert result.held_voltage < 0.9 * sh.nominal_ratio * result.true_voc
+
+    def test_successive_samples_converge(self, model):
+        sh = SampleHoldCircuit()
+        sh.sample(model, 2e-3)
+        first = sh.held_voltage
+        for _ in range(10):
+            sh.sample(model, 2e-3)
+        assert sh.held_voltage > first
+        assert sh.held_voltage == pytest.approx(
+            sh.nominal_ratio * model.voc(), rel=0.02
+        )
+
+    def test_rejects_nonpositive_pulse(self, sh, model):
+        with pytest.raises(ModelParameterError):
+            sh.sample(model, 0.0)
+
+    def test_sample_tracks_light_change(self, sh):
+        lo = am_1815().model_at(200.0)
+        hi = am_1815().model_at(5000.0)
+        sh.sample(lo, 39e-3)
+        held_lo = sh.held_voltage
+        sh.sample(hi, 39e-3)
+        held_hi = sh.held_voltage
+        assert held_hi > held_lo
+        assert held_hi / hi.voc() == pytest.approx(held_lo / lo.voc(), rel=0.02)
+
+
+class TestHold:
+    def test_droop_is_slow_over_hold_period(self, sh, model):
+        sh.sample(model, 39e-3)
+        before = sh.held_voltage
+        sh.droop(69.0)
+        after = sh.held_voltage
+        assert after < before
+        # Polyester + pA bias: well under 1 % per hold period.
+        assert (before - after) / before < 0.01
+
+    def test_leaky_dielectric_droops_faster(self, model):
+        good = SampleHoldCircuit()
+        bad = SampleHoldCircuit(hold_capacitor=Capacitor(1e-6, dielectric=CERAMIC_X7R))
+        good.sample(model, 39e-3)
+        bad.sample(model, 39e-3)
+        good.droop(69.0)
+        bad.droop(69.0)
+        assert bad.held_voltage < good.held_voltage
+
+    def test_droop_rate_positive_when_held(self, sh, model):
+        sh.sample(model, 39e-3)
+        assert sh.droop_rate() > 0.0
+
+    def test_reset_discharges(self, sh, model):
+        sh.sample(model, 39e-3)
+        sh.reset()
+        assert sh.held_voltage == 0.0
+        assert sh.held_sample == pytest.approx(0.0, abs=2e-3)
+
+
+class TestBudgetAndGeometry:
+    def test_quiescent_current_is_buffers_plus_switch(self, sh):
+        expected = (
+            sh.input_buffer.supply_current()
+            + sh.output_buffer.supply_current()
+            + sh.switch.supply_current()
+        )
+        assert sh.quiescent_current() == pytest.approx(expected, rel=1e-12)
+
+    def test_sampling_extra_current_is_divider(self, sh):
+        assert sh.sampling_extra_current(5.0) == pytest.approx(5.0 / 10e6, rel=1e-9)
+
+    def test_settle_time_constant(self, sh):
+        tau = sh.settle_time_constant()
+        source = sh.input_buffer.spec.output_resistance + sh.switch.spec.on_resistance
+        assert tau == pytest.approx(source * sh.hold_capacitor.farads, rel=1e-12)
+        # 5 tau must fit the 39 ms pulse with margin — the design rule.
+        assert 5.0 * tau < 39e-3
+
+    def test_custom_divider_ratio_respected(self, model):
+        sh = SampleHoldCircuit(divider=ResistiveDivider.from_ratio(0.39, 10e6))
+        result = sh.sample(model, 39e-3)
+        assert result.effective_ratio == pytest.approx(0.39, rel=0.01)
+
+    def test_rejects_bad_ripple_filter(self):
+        with pytest.raises(ModelParameterError):
+            SampleHoldCircuit(ripple_filter_r=0.0)
+
+    def test_held_sample_clamps_to_supply(self, sh):
+        sh._held = 10.0
+        assert sh.held_sample <= sh.supply

@@ -1,0 +1,101 @@
+"""Unit tests for the cell thermal model and the TEG extension."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.pv.teg import ThermoelectricGenerator
+from repro.pv.thermal import CellThermalModel
+from repro.units import ZERO_CELSIUS
+
+
+class TestThermalModel:
+    def test_starts_at_ambient(self):
+        model = CellThermalModel(area_cm2=25.0)
+        assert model.temperature == pytest.approx(model.ambient_k)
+
+    def test_indoor_light_barely_heats(self):
+        model = CellThermalModel(area_cm2=25.0)
+        t_ss = model.steady_state_temperature(500.0)
+        assert t_ss - model.ambient_k < 0.5
+
+    def test_full_sun_heats_realistically(self):
+        model = CellThermalModel(area_cm2=25.0)
+        # Full sun: ~105 klux of daylight-efficacy radiation.
+        t_ss = model.steady_state_temperature(105000.0, efficacy_lm_per_w=105.0)
+        rise = t_ss - model.ambient_k
+        assert 15.0 < rise < 45.0
+
+    def test_step_approaches_steady_state(self):
+        model = CellThermalModel(area_cm2=25.0)
+        target = model.steady_state_temperature(105000.0, efficacy_lm_per_w=105.0)
+        for _ in range(100):
+            model.step(105000.0, dt=60.0, efficacy_lm_per_w=105.0)
+        assert model.temperature == pytest.approx(target, abs=0.1)
+
+    def test_step_is_unconditionally_stable(self):
+        model = CellThermalModel(area_cm2=25.0)
+        # Gigantic dt must land exactly on the steady state, not blow up.
+        model.step(105000.0, dt=1e9, efficacy_lm_per_w=105.0)
+        assert model.temperature == pytest.approx(
+            model.steady_state_temperature(105000.0, efficacy_lm_per_w=105.0)
+        )
+
+    def test_cools_in_darkness(self):
+        model = CellThermalModel(area_cm2=25.0, temperature=ZERO_CELSIUS + 60.0)
+        model.step(0.0, dt=3600.0)
+        assert model.temperature == pytest.approx(model.ambient_k, abs=0.5)
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ModelParameterError):
+            CellThermalModel(area_cm2=25.0).step(100.0, dt=-1.0)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ModelParameterError):
+            CellThermalModel(area_cm2=0.0)
+
+
+class TestTEG:
+    def teg(self):
+        return ThermoelectricGenerator(seebeck_v_per_k=0.05, internal_resistance=5.0)
+
+    def test_voc_linear_in_delta_t(self):
+        teg = self.teg()
+        assert teg.voc(10.0) == pytest.approx(0.5)
+        assert teg.voc(20.0) == pytest.approx(1.0)
+
+    def test_no_output_without_gradient(self):
+        teg = self.teg()
+        assert teg.voc(0.0) == 0.0
+        assert teg.mpp(0.0).power == 0.0
+
+    def test_mpp_at_half_voc_exactly(self):
+        teg = self.teg()
+        mpp = teg.mpp(10.0)
+        assert mpp.voltage == pytest.approx(teg.voc(10.0) / 2.0, rel=1e-12)
+        # Matched-load maximum: V^2/(4R).
+        assert mpp.power == pytest.approx(0.5**2 / (4.0 * 5.0), rel=1e-12)
+
+    def test_k_is_half(self):
+        assert self.teg().k == 0.5
+
+    def test_power_unimodal_around_mpp(self):
+        teg = self.teg()
+        mpp = teg.mpp(10.0)
+        for dv in (-0.05, 0.05):
+            assert teg.power_at(mpp.voltage + dv, 10.0) < mpp.power
+
+    def test_power_clamped_outside_quadrant(self):
+        teg = self.teg()
+        assert teg.power_at(-0.1, 10.0) == 0.0
+        assert teg.power_at(1.0, 10.0) == 0.0  # above Voc
+
+    def test_current_linear(self):
+        teg = self.teg()
+        assert teg.current_at(0.0, 10.0) == pytest.approx(0.1)  # Isc = Voc/R
+        assert teg.current_at(0.5, 10.0) == pytest.approx(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelParameterError):
+            ThermoelectricGenerator(seebeck_v_per_k=0.0, internal_resistance=5.0)
+        with pytest.raises(ModelParameterError):
+            ThermoelectricGenerator(seebeck_v_per_k=0.05, internal_resistance=0.0)

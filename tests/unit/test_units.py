@@ -1,0 +1,86 @@
+"""Unit tests for physical constants and conversions."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert units.thermal_voltage(units.T_STC) == pytest.approx(25.7e-3, rel=0.01)
+
+    def test_scales_linearly(self):
+        assert units.thermal_voltage(2 * units.T_STC) == pytest.approx(
+            2 * units.thermal_voltage(units.T_STC)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
+
+
+class TestTemperatureConversions:
+    def test_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(25.0)) == pytest.approx(25.0)
+
+    def test_zero_celsius(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+
+class TestPhotometry:
+    def test_full_sun_consistency(self):
+        # 105 klux of daylight ~ 1000 W/m^2.
+        irradiance = units.lux_to_irradiance(
+            units.FULL_SUN_LUX, units.LUMENS_PER_WATT_SUNLIGHT
+        )
+        assert irradiance == pytest.approx(units.FULL_SUN_IRRADIANCE, rel=0.01)
+
+    def test_roundtrip(self):
+        lux = 732.0
+        irr = units.lux_to_irradiance(lux)
+        assert units.irradiance_to_lux(irr) == pytest.approx(lux)
+
+    def test_fluorescent_lux_is_cheap_in_watts(self):
+        # The same lux needs far less radiant power from a tube than the sun.
+        w_fluor = units.lux_to_irradiance(500.0, units.LUMENS_PER_WATT_FLUORESCENT)
+        w_sun = units.lux_to_irradiance(500.0, units.LUMENS_PER_WATT_SUNLIGHT)
+        assert w_fluor < w_sun / 2.0
+
+    def test_rejects_negative_lux(self):
+        with pytest.raises(ValueError):
+            units.lux_to_irradiance(-1.0)
+
+    def test_rejects_bad_efficacy(self):
+        with pytest.raises(ValueError):
+            units.lux_to_irradiance(100.0, 0.0)
+
+
+class TestDb:
+    def test_10x_is_10db(self):
+        assert units.db(10.0) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+
+
+class TestSiFormat:
+    def test_microamps(self):
+        assert units.si_format(7.6e-6, "A") == "7.6uA"
+
+    def test_millivolts(self):
+        assert units.si_format(12.7e-3, "V") == "12.7mV"
+
+    def test_zero(self):
+        assert units.si_format(0.0, "W") == "0W"
+
+    def test_plain_units(self):
+        assert units.si_format(3.3, "V") == "3.3V"
+
+    def test_negative_value(self):
+        assert units.si_format(-2.5e-3, "A").startswith("-2.5m")
+
+    def test_tiny_value_uses_femto(self):
+        assert "f" in units.si_format(3e-15, "A")
