@@ -1,0 +1,49 @@
+"""Perf smoke — a fast throughput gate for the quasi-static engine.
+
+A deliberately short slice of the E8 comparison (one hour, all nine
+techniques, all three scenarios) run through the precompute fast path.
+It asserts a steps-per-second floor — set far below what the optimised
+engine achieves but well above the original per-step path — so a
+regression that silently disables the condition cache or the batch
+solver fails loudly, and it appends the measurement to the
+``BENCH_perf.json`` ledger for cross-PR tracking.
+"""
+
+from repro.env.profiles import HOURS
+from repro.experiments import comparison
+from repro.sim.telemetry import latest, measure, record_perf
+
+# The seed engine managed ~2 100 steps/s on the reference container; the
+# precompute+batch path exceeds 20 000.  The floor splits the difference
+# with generous headroom for slower CI machines.
+STEPS_PER_S_FLOOR = 4000.0
+
+
+def test_perf_smoke(benchmark, save_result):
+    duration = 1.0 * HOURS
+    dt = 10.0
+    steps = 9 * 3 * int(duration / dt)
+
+    def timed_run():
+        with measure("perf_smoke_1h_dt10", steps=steps) as perf:
+            results = comparison.run_comparison(duration=duration, dt=dt)
+        record_perf(perf, note="bench_perf_smoke")
+        return results, perf
+
+    results, perf = benchmark.pedantic(timed_run, rounds=1, iterations=1)
+
+    assert len(results) == 27
+    assert all(r.summary.duration == duration for r in results)
+    assert perf.steps_per_s > STEPS_PER_S_FLOOR, (
+        f"engine throughput regressed: {perf.steps_per_s:.0f} steps/s "
+        f"< floor {STEPS_PER_S_FLOOR:.0f}"
+    )
+
+    entry = latest("perf_smoke_1h_dt10")
+    assert entry is not None and entry["steps"] == steps
+
+    save_result(
+        "perf_smoke",
+        f"perf smoke: {steps} steps in {perf.wall_s:.2f} s "
+        f"({perf.steps_per_s:.0f} steps/s; floor {STEPS_PER_S_FLOOR:.0f})",
+    )

@@ -24,6 +24,7 @@ from repro.analog.switch import AnalogSwitch, AnalogSwitchSpec
 from repro.core.sample_hold import SampleHoldCircuit
 from repro.errors import ModelParameterError
 from repro.pv.cells import PVCell, am_1815
+from repro.sim.parallel import parallel_map, scatter
 
 
 @dataclass(frozen=True)
@@ -88,58 +89,41 @@ class MonteCarloResult:
         return float(np.mean(inside))
 
 
-def run_sample_hold_montecarlo(
-    boards: int = 500,
-    cell: Optional[PVCell] = None,
-    lux: float = 1000.0,
-    nominal_ratio: float = 0.298,
-    total_resistance: float = 10e6,
-    alpha: float = 0.5,
-    pulse_width: float = 39e-3,
-    tolerances: ToleranceSpec = ToleranceSpec(),
-    seed: int = 20110314,
-) -> MonteCarloResult:
-    """Sample ``boards`` S&H builds and measure each one's ratio.
+@dataclass(frozen=True)
+class _BoardBatch:
+    """Picklable chunk of boards: their normal draws plus shared context.
 
-    Each virtual board draws its divider resistors, buffer offsets,
-    switch injection and hold capacitor from the tolerance
-    distributions, performs a full sampling operation against the cell's
-    real curve (including loading), droops through half a hold period,
-    and reports HELD/Voc — the exact procedure behind a Table I column.
-
-    Args:
-        boards: number of Monte Carlo samples.
-        cell: device under test (AM-1815 default).
-        lux: test intensity.
-        nominal_ratio: design ``k * alpha``.
-        total_resistance: divider end-to-end resistance.
-        alpha: representation scaling (0.5 in the prototype).
-        pulse_width: PULSE width.
-        tolerances: distribution widths.
-        seed: RNG seed.
+    ``draws`` is an ``(n, 6)`` slice of the run's pre-drawn standard
+    normals; column order is fixed as (top, bottom, u2 offset, u4
+    offset, injection, hold C) — the same order the original sequential
+    sampler consumed them in, which keeps results bitwise identical to
+    the historical implementation.
     """
-    if boards < 1:
-        raise ModelParameterError(f"boards must be >= 1, got {boards!r}")
-    cell = cell if cell is not None else am_1815()
-    model = cell.model_at(lux)
-    voc = model.voc()
-    rng = np.random.default_rng(seed)
 
-    nominal_top = (1.0 - nominal_ratio) * total_resistance
-    nominal_bottom = nominal_ratio * total_resistance
+    draws: np.ndarray
+    model: object
+    voc: float
+    nominal_top: float
+    nominal_bottom: float
+    pulse_width: float
+    tolerances: ToleranceSpec
+
+
+def _evaluate_boards(batch: _BoardBatch) -> np.ndarray:
+    """Build and measure every board in one batch; returns their ratios."""
+    tolerances = batch.tolerances
     base_buffer = UnityGainBuffer().spec
     base_switch = AnalogSwitch().spec
-
-    ratios = np.empty(boards)
-    for i in range(boards):
-        top = nominal_top * (1.0 + tolerances.resistor_tolerance * rng.standard_normal())
-        bottom = nominal_bottom * (1.0 + tolerances.resistor_tolerance * rng.standard_normal())
-        u2_offset = tolerances.offset_sigma_v * rng.standard_normal()
-        u4_offset = tolerances.offset_sigma_v * rng.standard_normal()
+    ratios = np.empty(len(batch.draws))
+    for i, draw in enumerate(batch.draws):
+        top = batch.nominal_top * (1.0 + tolerances.resistor_tolerance * draw[0])
+        bottom = batch.nominal_bottom * (1.0 + tolerances.resistor_tolerance * draw[1])
+        u2_offset = tolerances.offset_sigma_v * draw[2]
+        u4_offset = tolerances.offset_sigma_v * draw[3]
         injection = base_switch.charge_injection * max(
-            0.0, 1.0 + tolerances.charge_injection_sigma * rng.standard_normal()
+            0.0, 1.0 + tolerances.charge_injection_sigma * draw[4]
         )
-        hold_c = 1e-6 * (1.0 + tolerances.capacitor_tolerance * rng.standard_normal())
+        hold_c = 1e-6 * (1.0 + tolerances.capacitor_tolerance * draw[5])
 
         board = SampleHoldCircuit(
             divider=ResistiveDivider(top=Resistor(top), bottom=Resistor(bottom)),
@@ -174,9 +158,77 @@ def run_sample_hold_montecarlo(
                 )
             ),
         )
-        board.sample(model, pulse_width)
+        board.sample(batch.model, batch.pulse_width)
         board.droop(34.5)  # mid-hold readout, as in the Table I bench
-        ratios[i] = board.held_sample / voc
+        ratios[i] = board.held_sample / batch.voc
+    return ratios
+
+
+def run_sample_hold_montecarlo(
+    boards: int = 500,
+    cell: Optional[PVCell] = None,
+    lux: float = 1000.0,
+    nominal_ratio: float = 0.298,
+    total_resistance: float = 10e6,
+    alpha: float = 0.5,
+    pulse_width: float = 39e-3,
+    tolerances: ToleranceSpec = ToleranceSpec(),
+    seed: int = 20110314,
+    workers: Optional[int] = None,
+) -> MonteCarloResult:
+    """Sample ``boards`` S&H builds and measure each one's ratio.
+
+    Each virtual board draws its divider resistors, buffer offsets,
+    switch injection and hold capacitor from the tolerance
+    distributions, performs a full sampling operation against the cell's
+    real curve (including loading), droops through half a hold period,
+    and reports HELD/Voc — the exact procedure behind a Table I column.
+
+    Every board's six normals are drawn up front as a ``(boards, 6)``
+    matrix (NumPy's generator produces the same stream in bulk as it
+    does one value at a time), which makes each board a pure function of
+    its row — so the population can be split across a process pool with
+    results identical to the serial run.
+
+    Args:
+        boards: number of Monte Carlo samples.
+        cell: device under test (AM-1815 default).
+        lux: test intensity.
+        nominal_ratio: design ``k * alpha``.
+        total_resistance: divider end-to-end resistance.
+        alpha: representation scaling (0.5 in the prototype).
+        pulse_width: PULSE width.
+        tolerances: distribution widths.
+        seed: RNG seed.
+        workers: process-pool size for the board evaluations (None or 1:
+            serial; the result is the same either way).
+    """
+    if boards < 1:
+        raise ModelParameterError(f"boards must be >= 1, got {boards!r}")
+    cell = cell if cell is not None else am_1815()
+    model = cell.model_at(lux)
+    voc = model.voc()
+    rng = np.random.default_rng(seed)
+
+    nominal_top = (1.0 - nominal_ratio) * total_resistance
+    nominal_bottom = nominal_ratio * total_resistance
+
+    draws = rng.standard_normal((boards, 6))
+    parts = workers if workers is not None else 1
+    batches = [
+        _BoardBatch(
+            draws=chunk,
+            model=model,
+            voc=voc,
+            nominal_top=nominal_top,
+            nominal_bottom=nominal_bottom,
+            pulse_width=pulse_width,
+            tolerances=tolerances,
+        )
+        for chunk in scatter(draws, parts)
+    ]
+    chunks = parallel_map(_evaluate_boards, batches, max_workers=max(1, parts))
+    ratios = np.concatenate(chunks) if chunks else np.empty(0)
 
     return MonteCarloResult(
         ratios=ratios,

@@ -41,6 +41,8 @@ from repro.env.profiles import HOURS
 from repro.env.scenarios import office_desk_24h, outdoor_day, semi_mobile_24h
 from repro.pv.cells import PVCell, am_1815
 from repro.pv.thermal import CellThermalModel
+from repro.sim.parallel import parallel_map
+from repro.sim.precompute import precompute_conditions
 from repro.sim.quasistatic import HarvestSummary, QuasiStaticSimulator
 from repro.storage.supercap import Supercapacitor
 
@@ -110,6 +112,74 @@ class ComparisonCell:
     summary: HarvestSummary
 
 
+@dataclass(frozen=True)
+class _ScenarioSpec:
+    """Picklable description of one scenario's batch of runs."""
+
+    cell: PVCell
+    scenario: str
+    techniques: "tuple[str, ...]"
+    duration: float
+    dt: float
+    use_storage: bool
+    use_thermal: bool
+    precompute: bool
+
+
+def _run_scenario(spec: _ScenarioSpec) -> List[ComparisonCell]:
+    """Run every requested technique through one scenario.
+
+    The scenario's condition chain — lux trace, thermal trace, per-step
+    models and their Voc/MPP solves — is identical for every technique,
+    so it is computed once and shared; each controller then replays it
+    against its own storage/converter state.  This is the serial *and*
+    the per-worker parallel code path.
+    """
+    cell = spec.cell
+    controller_factories = default_controllers(cell)
+    scenario_factory = default_scenarios()[spec.scenario]
+
+    precomputed = None
+    if spec.precompute:
+        thermal = (
+            CellThermalModel(area_cm2=cell.parameters.area_cm2) if spec.use_thermal else None
+        )
+        precomputed = precompute_conditions(
+            cell, scenario_factory(), spec.duration, spec.dt, thermal=thermal
+        )
+
+    results: List[ComparisonCell] = []
+    for technique_name in spec.techniques:
+        environment = scenario_factory()
+        controller = controller_factories[technique_name]()
+        storage = (
+            Supercapacitor(capacitance=25.0, rated_voltage=5.5, voltage=2.7)
+            if spec.use_storage
+            else None
+        )
+        thermal = (
+            CellThermalModel(area_cm2=cell.parameters.area_cm2)
+            if spec.use_thermal and precomputed is None
+            else None
+        )
+        sim = QuasiStaticSimulator(
+            cell,
+            controller,
+            environment,
+            converter=BuckBoostConverter(),
+            storage=storage,
+            thermal=thermal,
+            supply_voltage=3.0,
+            record=False,
+            precomputed=precomputed,
+        )
+        summary = sim.run(spec.duration, dt=spec.dt)
+        results.append(
+            ComparisonCell(technique=technique_name, scenario=spec.scenario, summary=summary)
+        )
+    return results
+
+
 def run_comparison(
     cell: PVCell | None = None,
     duration: float = 24.0 * HOURS,
@@ -118,6 +188,9 @@ def run_comparison(
     scenarios: Sequence[str] | None = None,
     use_storage: bool = True,
     use_thermal: bool = True,
+    precompute: bool = True,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> List[ComparisonCell]:
     """Run every technique through every scenario.
 
@@ -130,6 +203,15 @@ def run_comparison(
         use_storage: charge a real supercapacitor (vs an ideal 3 V sink).
         use_thermal: let sunlight heat the cell (the fixed-voltage
             technique's weak spot).
+        precompute: solve each scenario's condition trace once (batch
+            Lambert-W) and share it across all techniques instead of
+            re-solving per controller per step.  Same numerics, ~an
+            order of magnitude faster; disable to force the original
+            per-step path.
+        parallel: fan the scenarios out over a process pool
+            (:mod:`repro.sim.parallel`); results are identical to the
+            serial path and come back in the same order.
+        max_workers: pool size when ``parallel`` (None: one per CPU).
     """
     cell = cell if cell is not None else am_1815()
     controller_factories = default_controllers(cell)
@@ -137,33 +219,27 @@ def run_comparison(
     selected_techniques = list(techniques) if techniques is not None else list(controller_factories)
     selected_scenarios = list(scenarios) if scenarios is not None else list(scenario_factories)
 
+    specs = [
+        _ScenarioSpec(
+            cell=cell,
+            scenario=scenario_name,
+            techniques=tuple(selected_techniques),
+            duration=duration,
+            dt=dt,
+            use_storage=use_storage,
+            use_thermal=use_thermal,
+            precompute=precompute,
+        )
+        for scenario_name in selected_scenarios
+    ]
+    if parallel:
+        batches = parallel_map(_run_scenario, specs, max_workers=max_workers)
+    else:
+        batches = [_run_scenario(spec) for spec in specs]
+
     results: List[ComparisonCell] = []
-    for scenario_name in selected_scenarios:
-        for technique_name in selected_techniques:
-            environment = scenario_factories[scenario_name]()
-            controller = controller_factories[technique_name]()
-            storage = (
-                Supercapacitor(capacitance=25.0, rated_voltage=5.5, voltage=2.7)
-                if use_storage
-                else None
-            )
-            thermal = (
-                CellThermalModel(area_cm2=cell.parameters.area_cm2) if use_thermal else None
-            )
-            sim = QuasiStaticSimulator(
-                cell,
-                controller,
-                environment,
-                converter=BuckBoostConverter(),
-                storage=storage,
-                thermal=thermal,
-                supply_voltage=3.0,
-                record=False,
-            )
-            summary = sim.run(duration, dt=dt)
-            results.append(
-                ComparisonCell(technique=technique_name, scenario=scenario_name, summary=summary)
-            )
+    for batch in batches:
+        results.extend(batch)
     return results
 
 

@@ -22,10 +22,13 @@ from repro.env.scenarios import weekly_office
 from repro.node.scheduler import EnergyAwareScheduler
 from repro.node.sensor_node import SensorNode
 from repro.pv.cells import PVCell, am_1815
+from repro.sim.parallel import parallel_map
+from repro.sim.precompute import precompute_conditions
 from repro.sim.quasistatic import QuasiStaticSimulator
 from repro.storage.supercap import Supercapacitor
 
 DAY = 24.0 * HOURS
+WEEK = 7.0 * DAY
 
 
 @dataclass
@@ -72,6 +75,7 @@ def run_week(
     initial_voltage: float = 3.2,
     dt: float = 10.0,
     seed: int = 4,
+    precompute: bool = True,
 ) -> EnduranceResult:
     """Run the seven-day endurance scenario.
 
@@ -81,6 +85,8 @@ def run_week(
         initial_voltage: store voltage at Monday 00:00.
         dt: quasi-static step.
         seed: environment seed.
+        precompute: solve the whole week's light/model trace up front
+            (batch Lambert-W) instead of per step; identical numerics.
     """
     cell = cell if cell is not None else am_1815()
     storage = Supercapacitor(
@@ -98,14 +104,19 @@ def run_week(
     controller = SampleHoldMPPT(
         config=PlatformConfig.trimmed_for_cell(cell), assume_started=True
     )
+    environment = weekly_office(seed=seed)
+    precomputed = (
+        precompute_conditions(cell, environment, WEEK, dt) if precompute else None
+    )
     sim = QuasiStaticSimulator(
         cell,
         controller,
-        weekly_office(seed=seed),
+        environment,
         converter=BuckBoostConverter(),
         storage=storage,
         load=scheduler.power,
         record=False,
+        precomputed=precomputed,
     )
 
     days: List[DaySummary] = []
@@ -138,6 +149,54 @@ def run_week(
         final_voltage=storage.voltage,
         total_reports=scheduler.reports_sent,
     )
+
+
+@dataclass(frozen=True)
+class _WeekSpec:
+    """Picklable arguments for one ensemble member's week."""
+
+    storage_farads: float
+    initial_voltage: float
+    dt: float
+    seed: int
+    precompute: bool
+
+
+def _run_week_spec(spec: _WeekSpec) -> EnduranceResult:
+    return run_week(
+        storage_farads=spec.storage_farads,
+        initial_voltage=spec.initial_voltage,
+        dt=spec.dt,
+        seed=spec.seed,
+        precompute=spec.precompute,
+    )
+
+
+def run_week_ensemble(
+    seeds: List[int],
+    storage_farads: float = 10.0,
+    initial_voltage: float = 3.2,
+    dt: float = 10.0,
+    precompute: bool = True,
+    max_workers: Optional[int] = None,
+) -> List[EnduranceResult]:
+    """Run the endurance week over an ensemble of environment seeds.
+
+    Each seed is an independent week, so the ensemble fans out over the
+    process pool (:func:`repro.sim.parallel.parallel_map`); results come
+    back in seed order and match the serial path exactly.
+    """
+    specs = [
+        _WeekSpec(
+            storage_farads=storage_farads,
+            initial_voltage=initial_voltage,
+            dt=dt,
+            seed=seed,
+            precompute=precompute,
+        )
+        for seed in seeds
+    ]
+    return parallel_map(_run_week_spec, specs, max_workers=max_workers)
 
 
 def render(result: EnduranceResult) -> str:

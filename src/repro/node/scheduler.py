@@ -13,6 +13,8 @@ It composes with the quasi-static engine as a ``load`` callable, and the
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -75,15 +77,14 @@ class EnergyAwareScheduler:
             return None
         if voltage >= self.v_comfort:
             return self.min_period
-        import math
-
         # Logarithmic interpolation: period shrinks fast once the store
-        # is demonstrably above survival.
+        # is demonstrably above survival.  The exp/log round trip can
+        # land a hair outside the bounds at the endpoints, so clamp.
         fraction = (voltage - self.v_survival) / (self.v_comfort - self.v_survival)
         log_period = math.log(self.max_period) + fraction * (
             math.log(self.min_period) - math.log(self.max_period)
         )
-        return math.exp(log_period)
+        return min(self.max_period, max(self.min_period, math.exp(log_period)))
 
     # --- observables --------------------------------------------------------------
 

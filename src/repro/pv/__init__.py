@@ -9,6 +9,10 @@ bench (:mod:`repro.pv.cells`), MPP utilities (:mod:`repro.pv.mpp`),
 a lumped thermal model (:mod:`repro.pv.thermal`), and a thermoelectric
 generator for the paper's claimed TEG applicability
 (:mod:`repro.pv.teg`).
+
+Performance layers: :mod:`repro.pv.batch` solves many conditions'
+Voc/Isc/MPP in one vectorized Lambert-W pass, and :mod:`repro.pv.cache`
+wraps a cell in a condition-keyed solve cache.
 """
 
 from repro.pv.single_diode import SingleDiodeModel, MPPResult
@@ -18,6 +22,8 @@ from repro.pv.mpp import k_factor, k_factor_curve, efficiency_at_voltage
 from repro.pv.thermal import CellThermalModel
 from repro.pv.teg import ThermoelectricGenerator
 from repro.pv.fitting import FitTarget, FitResult, fit_cell_parameters, am_1815_targets
+from repro.pv.batch import BatchSolveResult, batch_mpp, solve_models
+from repro.pv.cache import CachedPVCell, CacheStats, SolveCache, cached_cell
 
 __all__ = [
     "SingleDiodeModel",
@@ -42,4 +48,11 @@ __all__ = [
     "FitResult",
     "fit_cell_parameters",
     "am_1815_targets",
+    "BatchSolveResult",
+    "batch_mpp",
+    "solve_models",
+    "CachedPVCell",
+    "CacheStats",
+    "SolveCache",
+    "cached_cell",
 ]

@@ -1,0 +1,325 @@
+"""Vectorized batch solves over many single-diode operating conditions.
+
+A 24-hour quasi-static run needs the open-circuit voltage and the
+maximum power point of one :class:`~repro.pv.single_diode.SingleDiodeModel`
+per step — tens of thousands of scalar Lambert-W golden-section
+searches when done one at a time.  All of those solves are independent,
+and :func:`repro.pv.single_diode.lambertw_of_exp` already accepts
+arrays, so this module solves *every* condition of a run in a handful
+of array operations:
+
+* :func:`solve_models` — take any sequence of models, stack their
+  parameters into arrays, solve Voc/Isc/MPP for all of them at once,
+  and (optionally) pre-fill each instance's memoised characteristic
+  points so later scalar calls (``model.voc()``, ``model.mpp()``) are
+  dictionary lookups.
+* :func:`batch_mpp` — convenience wrapper mapping a cell plus arrays of
+  lux/temperature straight to arrays of operating points (the engine
+  behind :func:`repro.pv.mpp.k_factor_curve`).
+
+The vectorized golden-section search mirrors the scalar
+:meth:`SingleDiodeModel.mpp` update-for-update with per-element
+freezing, so batch results match the scalar solver to floating-point
+round-off (asserted by ``tests/property/test_batch_mpp.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.pv.irradiance import FLUORESCENT, LightSource
+from repro.pv.single_diode import MPPResult, SingleDiodeModel, lambertw_of_exp
+from repro.units import T_STC
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class BatchSolveResult:
+    """Characteristic points for a batch of single-diode conditions.
+
+    All attributes are arrays of the same length as the model sequence
+    passed to :func:`solve_models`.
+
+    Attributes:
+        voc: open-circuit voltages, volts.
+        isc: short-circuit currents, amps.
+        v_mpp: MPP voltages, volts.
+        i_mpp: MPP currents, amps.
+        p_mpp: MPP powers, watts.
+    """
+
+    voc: np.ndarray
+    isc: np.ndarray
+    v_mpp: np.ndarray
+    i_mpp: np.ndarray
+    p_mpp: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.voc)
+
+    @property
+    def k(self) -> np.ndarray:
+        """Fractional open-circuit voltage ``Vmpp / Voc`` per condition
+        (NaN where the curve is dark), matching :attr:`MPPResult.k`."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(self.voc > 0.0, self.v_mpp / self.voc, np.nan)
+
+    def mpp_result(self, index: int) -> MPPResult:
+        """The ``index``-th condition as a scalar :class:`MPPResult`."""
+        return MPPResult(
+            voltage=float(self.v_mpp[index]),
+            current=float(self.i_mpp[index]),
+            power=float(self.p_mpp[index]),
+            voc=float(self.voc[index]),
+            isc=float(self.isc[index]),
+        )
+
+
+@dataclass(frozen=True)
+class _ParamArrays:
+    """Stacked five-parameter arrays for a batch of models."""
+
+    iph: np.ndarray
+    i0: np.ndarray
+    a: np.ndarray  # modified ideality n * Ns * Vt, volts
+    rs: np.ndarray
+    rsh: np.ndarray
+
+
+def _stack_params(models: Sequence[SingleDiodeModel]) -> _ParamArrays:
+    n = len(models)
+    iph = np.empty(n)
+    i0 = np.empty(n)
+    a = np.empty(n)
+    rs = np.empty(n)
+    rsh = np.empty(n)
+    for j, m in enumerate(models):
+        iph[j] = m.photocurrent
+        i0[j] = m.saturation_current
+        a[j] = m.modified_ideality
+        rs[j] = m.series_resistance
+        rsh[j] = m.shunt_resistance
+    return _ParamArrays(iph=iph, i0=i0, a=a, rs=rs, rsh=rsh)
+
+
+def _batch_current_at(p: _ParamArrays, v: np.ndarray) -> np.ndarray:
+    """Elementwise terminal current for (condition j, voltage v[j]) pairs.
+
+    Same three-branch structure as ``SingleDiodeModel.current_at``, with
+    the branches selected per element by mask.
+    """
+    out = np.empty_like(v)
+    finite_rsh = np.isfinite(p.rsh)
+    ideal_rs = p.rs < 1e-9
+
+    m = ideal_rs
+    if np.any(m):
+        shunt = np.where(finite_rsh[m], v[m] / p.rsh[m], 0.0)
+        out[m] = p.iph[m] - p.i0[m] * np.expm1(np.minimum(v[m] / p.a[m], 700.0)) - shunt
+
+    m = ~ideal_rs & ~finite_rsh
+    if np.any(m):
+        log_theta = np.log(p.i0[m] * p.rs[m] / p.a[m]) + (
+            v[m] + p.rs[m] * (p.iph[m] + p.i0[m])
+        ) / p.a[m]
+        w = lambertw_of_exp(log_theta)
+        out[m] = p.iph[m] + p.i0[m] - (p.a[m] / p.rs[m]) * w
+
+    m = ~ideal_rs & finite_rsh
+    if np.any(m):
+        rt = p.rs[m] + p.rsh[m]
+        log_theta = np.log(p.rs[m] * p.rsh[m] * p.i0[m] / (p.a[m] * rt)) + p.rsh[m] * (
+            p.rs[m] * (p.iph[m] + p.i0[m]) + v[m]
+        ) / (p.a[m] * rt)
+        w = lambertw_of_exp(log_theta)
+        out[m] = (p.rsh[m] * (p.iph[m] + p.i0[m]) - v[m]) / rt - (p.a[m] / p.rs[m]) * w
+
+    return out
+
+
+def _batch_voc(p: _ParamArrays) -> np.ndarray:
+    """Open-circuit voltage per condition (``voltage_at(0)`` vectorized)."""
+    out = np.empty_like(p.iph)
+    finite_rsh = np.isfinite(p.rsh)
+
+    m = ~finite_rsh
+    if np.any(m):
+        ratio = np.maximum((p.iph[m] + p.i0[m]) / p.i0[m], 1e-300)
+        out[m] = p.a[m] * np.log(ratio)
+
+    m = finite_rsh
+    if np.any(m):
+        log_theta = np.log(p.i0[m] * p.rsh[m] / p.a[m]) + p.rsh[m] * (p.iph[m] + p.i0[m]) / p.a[m]
+        w = lambertw_of_exp(log_theta)
+        out[m] = p.rsh[m] * (p.iph[m] + p.i0[m]) - p.a[m] * w
+
+    return out
+
+
+def _batch_isc(p: _ParamArrays) -> np.ndarray:
+    """Short-circuit current per condition (``isc()`` vectorized)."""
+    out = np.empty_like(p.iph)
+    finite_rsh = np.isfinite(p.rsh)
+    ideal_rs = p.rs < 1e-9
+
+    m = ideal_rs
+    out[m] = p.iph[m]
+
+    m = ~ideal_rs & ~finite_rsh
+    if np.any(m):
+        log_theta = np.log(p.i0[m] * p.rs[m] / p.a[m]) + p.rs[m] * (p.iph[m] + p.i0[m]) / p.a[m]
+        w = lambertw_of_exp(log_theta)
+        out[m] = p.iph[m] + p.i0[m] - (p.a[m] / p.rs[m]) * w
+
+    m = ~ideal_rs & finite_rsh
+    if np.any(m):
+        rt = p.rs[m] + p.rsh[m]
+        log_theta = np.log(p.rs[m] * p.rsh[m] * p.i0[m] / (p.a[m] * rt)) + p.rsh[m] * p.rs[m] * (
+            p.iph[m] + p.i0[m]
+        ) / (p.a[m] * rt)
+        w = lambertw_of_exp(log_theta)
+        out[m] = p.rsh[m] * (p.iph[m] + p.i0[m]) / rt - (p.a[m] / p.rs[m]) * w
+
+    return out
+
+
+def _batch_golden_mpp(
+    p: _ParamArrays, voc: np.ndarray, tolerance: float = 1e-12
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Vectorized golden-section MPP search over all conditions at once.
+
+    Mirrors ``SingleDiodeModel.mpp`` update-for-update: the same bracket
+    arithmetic, the same stop test, applied per element; elements whose
+    bracket has converged (or whose curve is dark) are frozen while the
+    rest keep iterating.  Returns ``(v_mpp, i_mpp, p_mpp)``.
+    """
+    n = len(voc)
+    active = (voc > 0.0) & (p.iph > 0.0)
+
+    lo = np.zeros(n)
+    hi = np.where(active, voc, 0.0)
+    x1 = hi - _INV_PHI * (hi - lo)
+    x2 = lo + _INV_PHI * (hi - lo)
+    p1 = np.zeros(n)
+    p2 = np.zeros(n)
+    if np.any(active):
+        p1[active] = x1[active] * _batch_current_at(_take(p, active), x1[active])
+        p2[active] = x2[active] * _batch_current_at(_take(p, active), x2[active])
+
+    tol = tolerance * np.maximum(voc, 1.0)
+    for _ in range(200):
+        run = active & ((hi - lo) > tol)
+        if not np.any(run):
+            break
+        cond = p1 < p2  # move the lower bracket up
+        move = run & cond
+        keep = run & ~cond
+
+        lo = np.where(move, x1, lo)
+        hi = np.where(keep, x2, hi)
+        # Shifted interior points; the survivor slides over, one new
+        # point is evaluated per element — exactly as in the scalar loop.
+        new_x1 = np.where(move, x2, np.where(keep, hi - _INV_PHI * (hi - lo), x1))
+        new_x2 = np.where(keep, x1, np.where(move, lo + _INV_PHI * (hi - lo), x2))
+        new_p1 = np.where(move, p2, p1)
+        new_p2 = np.where(keep, p1, p2)
+
+        fresh = move | keep
+        idx = np.nonzero(fresh)[0]
+        x_eval = np.where(move, new_x2, new_x1)[idx]
+        p_eval = x_eval * _batch_current_at(_take(p, fresh), x_eval)
+        is_move = move[idx]
+        new_p2[idx[is_move]] = p_eval[is_move]
+        new_p1[idx[~is_move]] = p_eval[~is_move]
+
+        x1, x2, p1, p2 = new_x1, new_x2, new_p1, new_p2
+
+    v_mpp = np.where(active, 0.5 * (lo + hi), 0.0)
+    i_mpp = np.zeros(n)
+    if np.any(active):
+        i_mpp[active] = _batch_current_at(_take(p, active), v_mpp[active])
+    p_mpp = v_mpp * i_mpp
+    return v_mpp, i_mpp, p_mpp
+
+
+def _take(p: _ParamArrays, mask: np.ndarray) -> _ParamArrays:
+    return _ParamArrays(
+        iph=p.iph[mask], i0=p.i0[mask], a=p.a[mask], rs=p.rs[mask], rsh=p.rsh[mask]
+    )
+
+
+def solve_models(
+    models: Sequence[SingleDiodeModel],
+    memoize: bool = True,
+) -> BatchSolveResult:
+    """Solve Voc/Isc/MPP for every model in one vectorized pass.
+
+    Args:
+        models: the conditions to solve (any sequence; duplicates are
+            solved per entry — dedupe upstream if profitable).
+        memoize: pre-fill each instance's memoised ``voc``/``isc``/
+            ``mpp`` so subsequent scalar calls are free.  Dark curves
+            (``photocurrent <= 0`` or ``voc <= 0``) follow the scalar
+            solver's convention of a zero MPP.
+
+    Returns:
+        A :class:`BatchSolveResult` aligned with ``models``.
+    """
+    models = list(models)
+    if not models:
+        empty = np.empty(0)
+        return BatchSolveResult(voc=empty, isc=empty, v_mpp=empty, i_mpp=empty, p_mpp=empty)
+
+    p = _stack_params(models)
+    voc = _batch_voc(p)
+    isc = _batch_isc(p)
+    v_mpp, i_mpp, p_mpp = _batch_golden_mpp(p, voc)
+
+    if memoize:
+        dark = (voc <= 0.0) | (p.iph <= 0.0)
+        for j, m in enumerate(models):
+            object.__setattr__(m, "_voc_memo", float(voc[j]))
+            object.__setattr__(m, "_isc_memo", float(isc[j]))
+            result = MPPResult(
+                voltage=float(v_mpp[j]),
+                current=float(i_mpp[j]),
+                power=float(p_mpp[j]),
+                voc=float(max(voc[j], 0.0)) if dark[j] else float(voc[j]),
+                isc=float(isc[j]),
+            )
+            object.__setattr__(m, "_mpp_memo", result)
+    return BatchSolveResult(voc=voc, isc=isc, v_mpp=v_mpp, i_mpp=i_mpp, p_mpp=p_mpp)
+
+
+def batch_mpp(
+    cell,
+    lux_levels: Sequence[float],
+    source: LightSource = FLUORESCENT,
+    temperature: "float | Sequence[float]" = T_STC,
+    memoize: bool = True,
+) -> BatchSolveResult:
+    """Operating points of ``cell`` across arrays of conditions.
+
+    Args:
+        cell: a :class:`~repro.pv.cells.PVCell` (or compatible object
+            exposing ``model_at``).
+        lux_levels: illuminance per condition.
+        source: light-source spectrum shared by all conditions.
+        temperature: scalar (shared) or per-condition kelvin.
+        memoize: pre-fill the built models' memoised points.
+
+    Returns:
+        A :class:`BatchSolveResult` aligned with ``lux_levels``.
+    """
+    lux = np.asarray(lux_levels, dtype=float)
+    temps = np.broadcast_to(np.asarray(temperature, dtype=float), lux.shape)
+    models: List[SingleDiodeModel] = [
+        cell.model_at(float(l), source=source, temperature=float(t))
+        for l, t in zip(lux, temps)
+    ]
+    return solve_models(models, memoize=memoize)

@@ -1,0 +1,220 @@
+"""Condition-keyed solve cache for PV cells.
+
+The quasi-static engine asks a :class:`~repro.pv.cells.PVCell` for the
+same handful of things — the single-diode model, Voc, the MPP — at
+whatever ``(lux, temperature, source)`` the environment produces each
+step.  Real lighting profiles revisit conditions constantly: scheduled
+office lighting is piecewise-constant, night is hours of zero lux, and
+the nine-controller comparison replays the *same* 24-hour trace once
+per controller.  This module memoises those solves:
+
+* :class:`SolveCache` — a bounded LRU mapping with hit/miss/eviction
+  counters.
+* :class:`CachedPVCell` — a drop-in :class:`PVCell` whose ``model_at``
+  is cached on the condition key.  Because
+  :class:`~repro.pv.single_diode.SingleDiodeModel` memoises its own
+  characteristic points, returning the *same* model instance for a
+  repeated condition makes every downstream ``voc()``/``mpp()`` call a
+  dictionary lookup.
+
+Keying and quantization
+-----------------------
+
+The key is ``(lux, temperature, source.name)`` plus the identity of the
+cell's (frozen, hashable) :class:`~repro.pv.cells.CellParameters`.  By
+default lux and temperature enter the key *exactly*, so cached results
+are bit-for-bit identical to the uncached path (asserted in
+``tests/integration/test_perf_equivalence.py``).  Pass ``lux_quantum``
+/ ``temperature_quantum`` to snap conditions onto a grid first: the
+cell is then solved *at the snapped condition*, trading a bounded model
+error (0.25 % lux bins keep MPP power well inside 0.1 %) for >99 % hit
+rates on noisy profiles whose lux never repeats exactly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.errors import ModelParameterError
+from repro.pv.cells import PVCell
+from repro.pv.irradiance import FLUORESCENT, LightSource
+from repro.pv.single_diode import MPPResult, SingleDiodeModel
+from repro.units import T_STC
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a :class:`SolveCache` has been used.
+
+    Attributes:
+        hits: lookups answered from the cache.
+        misses: lookups that had to solve.
+        evictions: entries dropped to respect ``max_entries``.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 if unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({100.0 * self.hit_rate:.2f} % hit rate, {self.evictions} evictions)"
+        )
+
+
+class SolveCache:
+    """A bounded LRU cache with usage counters.
+
+    Args:
+        max_entries: capacity; the least-recently-used entry is evicted
+            when a new key would exceed it.
+    """
+
+    def __init__(self, max_entries: int = 65536):
+        if max_entries < 1:
+            raise ModelParameterError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable):
+        """Return the cached value for ``key`` or None, counting the lookup."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert ``value``, evicting the LRU entry if at capacity."""
+        if key in self._entries:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+
+class CachedPVCell(PVCell):
+    """A :class:`PVCell` with a condition-keyed solve cache in front.
+
+    Drop-in: everything that accepts a ``PVCell`` accepts this (it *is*
+    one).  ``model_at`` answers repeated conditions with the same
+    memoised :class:`SingleDiodeModel` instance, so ``voc``/``isc``/
+    ``mpp``/``power_at`` for that condition are solved exactly once.
+
+    Args:
+        cell: the cell to wrap (its parameters are shared, not copied).
+        max_entries: cache capacity (models are small; the default
+            comfortably holds a week of unique per-second conditions).
+        lux_quantum: optional lux grid; 0 means exact keying.
+        temperature_quantum: optional kelvin grid; 0 means exact keying.
+    """
+
+    def __init__(
+        self,
+        cell: PVCell,
+        max_entries: int = 65536,
+        lux_quantum: float = 0.0,
+        temperature_quantum: float = 0.0,
+    ):
+        super().__init__(cell.parameters)
+        if lux_quantum < 0.0 or temperature_quantum < 0.0:
+            raise ModelParameterError("quantization steps must be >= 0")
+        self.cache = SolveCache(max_entries=max_entries)
+        self.lux_quantum = lux_quantum
+        self.temperature_quantum = temperature_quantum
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the underlying cache."""
+        return self.cache.stats
+
+    def _condition(self, lux: float, source: LightSource, temperature: float) -> tuple:
+        if self.lux_quantum > 0.0:
+            lux = round(lux / self.lux_quantum) * self.lux_quantum
+        if self.temperature_quantum > 0.0:
+            temperature = round(temperature / self.temperature_quantum) * self.temperature_quantum
+        return lux, temperature
+
+    def model_at(
+        self,
+        lux: float,
+        source: LightSource = FLUORESCENT,
+        temperature: float = T_STC,
+    ) -> SingleDiodeModel:
+        """Cached single-diode model for the (possibly snapped) condition."""
+        lux_k, temp_k = self._condition(lux, source, temperature)
+        key = (lux_k, temp_k, source.name)
+        model = self.cache.get(key)
+        if model is None:
+            model = super().model_at(lux_k, source=source, temperature=temp_k)
+            self.cache.put(key, model)
+        return model
+
+    # voc / isc / mpp / power_at route through the base class, which
+    # calls self.model_at — i.e. the cached path — and the returned
+    # model's own memoised characteristic points.
+
+    def degraded(self, years: float, iph_loss_per_year: float = 0.01,
+                 rs_growth_per_year: float = 0.03) -> "CachedPVCell":
+        """Aged copy, wrapped in a fresh cache (conditions key differently)."""
+        aged = super().degraded(
+            years, iph_loss_per_year=iph_loss_per_year, rs_growth_per_year=rs_growth_per_year
+        )
+        return CachedPVCell(
+            aged,
+            max_entries=self.cache.max_entries,
+            lux_quantum=self.lux_quantum,
+            temperature_quantum=self.temperature_quantum,
+        )
+
+
+def cached_cell(cell: Optional[PVCell] = None, **kwargs) -> CachedPVCell:
+    """Wrap ``cell`` (AM-1815 by default) in a :class:`CachedPVCell`.
+
+    Idempotent: an already-cached cell is returned unchanged.
+    """
+    from repro.pv.cells import am_1815
+
+    cell = cell if cell is not None else am_1815()
+    if isinstance(cell, CachedPVCell):
+        return cell
+    return CachedPVCell(cell, **kwargs)
+
+
+__all__ = [
+    "CacheStats",
+    "SolveCache",
+    "CachedPVCell",
+    "cached_cell",
+    "MPPResult",
+]

@@ -13,6 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ModelParameterError
+from repro.pv.batch import batch_mpp
 from repro.pv.cells import PVCell
 from repro.pv.irradiance import FLUORESCENT, LightSource
 from repro.units import T_STC
@@ -39,11 +40,19 @@ def k_factor_curve(
 ) -> np.ndarray:
     """k at each light level — the 'weak correlation with intensity' of [10].
 
-    Returns an array the same length as ``lux_levels``.
+    All levels are solved in one vectorized batch
+    (:func:`repro.pv.batch.batch_mpp`) instead of one golden-section
+    search per level.  Returns an array the same length as
+    ``lux_levels``.
     """
-    return np.array(
-        [k_factor(cell, lux, source=source, temperature=temperature) for lux in lux_levels]
-    )
+    levels = [float(lux) for lux in lux_levels]
+    for lux in levels:
+        if lux <= 0.0:
+            raise ModelParameterError(f"lux must be positive for a k-factor, got {lux!r}")
+    if not levels:
+        return np.array([])
+    batch = batch_mpp(cell, levels, source=source, temperature=temperature)
+    return np.asarray(batch.k, dtype=float)
 
 
 def efficiency_at_voltage(

@@ -35,6 +35,25 @@ _LAMBERTW_DIRECT_MAX_LOG = 100.0
 iteration instead of scipy's lambertw (whose argument would overflow)."""
 
 
+def _lambertw_of_exp_scalar(x: float) -> float:
+    """Scalar ``W(exp(x))`` without any array machinery.
+
+    The quasi-static engine solves millions of scalar operating points
+    per 24-hour run; going through ``np.asarray``/``atleast_1d``/boolean
+    masks costs more than the solve itself, so scalars take this path.
+    """
+    if x <= _LAMBERTW_DIRECT_MAX_LOG:
+        return lambertw(math.exp(x)).real
+    w = x - math.log(x)
+    for _ in range(24):
+        f = w + math.log(w) - x
+        dw = -f / (1.0 + 1.0 / w)
+        w = w + dw
+        if abs(dw) <= 1e-14 * max(abs(w), 1.0):
+            return w
+    raise ConvergenceError("lambertw_of_exp Newton iteration did not converge", iterations=24)
+
+
 def lambertw_of_exp(log_theta: ArrayLike) -> ArrayLike:
     """Return ``W(exp(x))`` for real ``x``, stable for arbitrarily large ``x``.
 
@@ -44,6 +63,8 @@ def lambertw_of_exp(log_theta: ArrayLike) -> ArrayLike:
     ``w0 = x - ln(x)``, which converges quadratically in a handful of
     steps.
     """
+    if type(log_theta) is float or type(log_theta) is int:
+        return _lambertw_of_exp_scalar(float(log_theta))
     x = np.asarray(log_theta, dtype=float)
     scalar = x.ndim == 0
     x = np.atleast_1d(x)
@@ -177,6 +198,8 @@ class SingleDiodeModel:
         or below a few ``a`` beyond Voc; reverse-bias (negative voltage)
         returns the shunt/photocurrent-dominated branch.
         """
+        if type(voltage) is float or type(voltage) is int:
+            return self._current_at_scalar(float(voltage))
         v = np.asarray(voltage, dtype=float)
         scalar = v.ndim == 0
         v = np.atleast_1d(v)
@@ -210,6 +233,27 @@ class SingleDiodeModel:
         i = np.asarray(i, dtype=float)
         return float(i[0]) if scalar else i
 
+    def _current_at_scalar(self, v: float) -> float:
+        """Pure-scalar :meth:`current_at` — the hot path of long runs."""
+        a = self.modified_ideality
+        iph, i0, rs, rsh = (
+            self.photocurrent,
+            self.saturation_current,
+            self.series_resistance,
+            self.shunt_resistance,
+        )
+        if rs < 1e-9:
+            shunt = v / rsh if math.isfinite(rsh) else 0.0
+            return iph - i0 * math.expm1(min(v / a, 700.0)) - shunt
+        if not math.isfinite(rsh):
+            log_theta = math.log(i0 * rs / a) + (v + rs * (iph + i0)) / a
+            w = _lambertw_of_exp_scalar(log_theta)
+            return iph + i0 - (a / rs) * w
+        rt = rs + rsh
+        log_theta = math.log(rs * rsh * i0 / (a * rt)) + rsh * (rs * (iph + i0) + v) / (a * rt)
+        w = _lambertw_of_exp_scalar(log_theta)
+        return (rsh * (iph + i0) - v) / rt - (a / rs) * w
+
     def voltage_at(self, current: ArrayLike) -> ArrayLike:
         """Terminal voltage (volts) at terminal current(s) ``current``.
 
@@ -217,6 +261,8 @@ class SingleDiodeModel:
             OperatingPointError: if ``current`` exceeds the short-circuit
                 current (no forward operating point exists there).
         """
+        if type(current) is float or type(current) is int:
+            return self._voltage_at_scalar(float(current))
         i = np.asarray(current, dtype=float)
         scalar = i.ndim == 0
         i = np.atleast_1d(i)
@@ -245,19 +291,58 @@ class SingleDiodeModel:
         v = np.asarray(v, dtype=float)
         return float(v[0]) if scalar else v
 
+    def _voltage_at_scalar(self, i: float) -> float:
+        """Pure-scalar :meth:`voltage_at` (shares the Isc guard)."""
+        isc = self.isc()
+        if i > isc * (1.0 + 1e-9) + 1e-15:
+            raise OperatingPointError(f"requested current {i:.4g} A exceeds Isc {isc:.4g} A")
+        a = self.modified_ideality
+        iph, i0, rs, rsh = (
+            self.photocurrent,
+            self.saturation_current,
+            self.series_resistance,
+            self.shunt_resistance,
+        )
+        if not math.isfinite(rsh):
+            ratio = max((iph + i0 - i) / i0, 1e-300)
+            return a * math.log(ratio) - i * rs
+        log_theta = math.log(i0 * rsh / a) + rsh * (iph + i0 - i) / a
+        w = _lambertw_of_exp_scalar(log_theta)
+        return rsh * (iph + i0 - i) - i * rs - a * w
+
     def power_at(self, voltage: ArrayLike) -> ArrayLike:
         """Output power (watts) at terminal voltage(s) ``voltage``."""
+        if type(voltage) is float or type(voltage) is int:
+            v = float(voltage)
+            return v * self._current_at_scalar(v)
         v = np.asarray(voltage, dtype=float)
         return v * self.current_at(v)
 
     # --- characteristic points ------------------------------------------------
+    #
+    # Instances are immutable, so the characteristic points are pure and
+    # memoised on the instance (stored via object.__setattr__ to respect
+    # frozen=True; dataclass eq/hash look only at declared fields).
+    # Long quasi-static runs ask for Voc and the MPP of the same curve
+    # many times per step — once per condition is enough.
 
     def voc(self) -> float:
         """Open-circuit voltage, volts."""
-        return float(self.voltage_at(0.0))
+        cached = self.__dict__.get("_voc_memo")
+        if cached is None:
+            cached = float(self.voltage_at(0.0))
+            object.__setattr__(self, "_voc_memo", cached)
+        return cached
 
     def isc(self) -> float:
         """Short-circuit current, amps."""
+        cached = self.__dict__.get("_isc_memo")
+        if cached is None:
+            cached = self._isc_solve()
+            object.__setattr__(self, "_isc_memo", cached)
+        return cached
+
+    def _isc_solve(self) -> float:
         a = self.modified_ideality
         iph, i0, rs, rsh = (
             self.photocurrent,
@@ -296,7 +381,18 @@ class SingleDiodeModel:
 
         The power curve of a single-diode cell is unimodal on
         ``[0, Voc]``, so golden-section is globally convergent here.
+        The default-tolerance result is memoised on the instance (and is
+        what :func:`repro.pv.batch.solve_models` pre-fills).
         """
+        if tolerance == 1e-12:
+            cached = self.__dict__.get("_mpp_memo")
+            if cached is None:
+                cached = self._mpp_solve(tolerance)
+                object.__setattr__(self, "_mpp_memo", cached)
+            return cached
+        return self._mpp_solve(tolerance)
+
+    def _mpp_solve(self, tolerance: float) -> MPPResult:
         voc = self.voc()
         if voc <= 0.0 or self.photocurrent <= 0.0:
             return MPPResult(voltage=0.0, current=0.0, power=0.0, voc=max(voc, 0.0), isc=self.isc())

@@ -12,12 +12,21 @@ Two engines cover the paper's two observation timescales:
 
 Signals are recorded into :class:`~repro.sim.traces.TraceSet` objects
 that behave like named time series with numpy views.
+
+Performance layers: :mod:`repro.sim.precompute` solves a whole run's
+conditions once for sharing across controllers,
+:mod:`repro.sim.parallel` fans independent runs over a process pool,
+and :mod:`repro.sim.telemetry` keeps the ``BENCH_perf.json`` wall-time
+ledger.
 """
 
 from repro.sim.traces import Trace, TraceSet
 from repro.sim.events import EventQueue, Event
 from repro.sim.transient import TransientSimulator
 from repro.sim.quasistatic import QuasiStaticSimulator, StepResult, HarvestSummary
+from repro.sim.precompute import PrecomputedConditions, precompute_conditions
+from repro.sim.parallel import parallel_map, scatter, default_worker_count
+from repro.sim.telemetry import PerfSample, measure, record_perf, load_ledger, latest
 
 __all__ = [
     "Trace",
@@ -28,4 +37,14 @@ __all__ = [
     "QuasiStaticSimulator",
     "StepResult",
     "HarvestSummary",
+    "PrecomputedConditions",
+    "precompute_conditions",
+    "parallel_map",
+    "scatter",
+    "default_worker_count",
+    "PerfSample",
+    "measure",
+    "record_perf",
+    "load_ledger",
+    "latest",
 ]

@@ -1,0 +1,95 @@
+"""Parallel experiment execution over picklable run specs.
+
+The heavy workloads in this repo — the nine-technique comparison, the
+endurance week, the tolerance Monte Carlo — are embarrassingly parallel
+at the granularity of "one run".  This module fans such runs out over a
+:mod:`concurrent.futures` process pool while keeping three guarantees:
+
+* **Determinism** — a spec fully describes its run (cell parameters,
+  scenario/controller names, seeds), so a worker produces exactly what
+  the serial path produces; ``parallel-vs-serial`` equality is asserted
+  in ``tests/unit/test_parallel_runner.py``.
+* **Graceful degradation** — on single-core machines (or
+  ``max_workers=1``/``mode="serial"``) everything runs inline with no
+  pool overhead, so callers can use one code path unconditionally.
+* **Ordering** — results come back in spec order regardless of which
+  worker finished first.
+
+Workers must be *module-level* callables (picklable); closures and
+lambdas only work in serial mode.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.errors import ModelParameterError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_worker_count() -> int:
+    """Worker count for this machine (``os.cpu_count()``, at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: Optional[int] = None,
+    mode: str = "auto",
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    Args:
+        fn: a picklable (module-level) callable.
+        items: the run specs.
+        max_workers: pool size; None means one per CPU.
+        mode: ``"auto"`` (process pool only when it can help: more than
+            one worker *and* more than one item), ``"process"`` (force a
+            pool), or ``"serial"`` (force inline execution).
+        chunksize: specs handed to a worker per dispatch; raise it for
+            many small specs to amortise IPC.
+
+    Returns:
+        ``[fn(item) for item in items]`` — same values, same order.
+    """
+    if mode not in ("auto", "process", "serial"):
+        raise ModelParameterError(f"mode must be auto/process/serial, got {mode!r}")
+    specs = list(items)
+    workers = max_workers if max_workers is not None else default_worker_count()
+    if workers < 1:
+        raise ModelParameterError(f"max_workers must be >= 1, got {max_workers!r}")
+
+    use_pool = mode == "process" or (mode == "auto" and workers > 1 and len(specs) > 1)
+    if not use_pool:
+        return [fn(spec) for spec in specs]
+
+    with ProcessPoolExecutor(max_workers=min(workers, max(1, len(specs)))) as pool:
+        return list(pool.map(fn, specs, chunksize=chunksize))
+
+
+def scatter(items: Sequence[T], parts: int) -> List[Sequence[T]]:
+    """Split ``items`` into at most ``parts`` contiguous, balanced chunks.
+
+    Useful for workloads whose per-item cost is tiny (Monte Carlo
+    boards): parallelise over chunks, keep per-item order inside each.
+    """
+    if parts < 1:
+        raise ModelParameterError(f"parts must be >= 1, got {parts!r}")
+    n = len(items)
+    parts = min(parts, n) if n else 0
+    chunks: List[Sequence[T]] = []
+    start = 0
+    for k in range(parts):
+        size = n // parts + (1 if k < n % parts else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+__all__ = ["parallel_map", "scatter", "default_worker_count"]

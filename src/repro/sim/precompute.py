@@ -1,0 +1,136 @@
+"""Whole-run condition precomputation for the quasi-static engine.
+
+A :class:`~repro.sim.quasistatic.QuasiStaticSimulator` spends most of a
+24-hour run re-deriving things that do not depend on the controller:
+the environment's lux at each step, the thermal state that follows it,
+the single-diode model for each condition, and that model's Voc/MPP.
+All of it is a pure function of ``(cell, environment, thermal, dt)`` —
+so the nine-controller comparison recomputes the identical trace nine
+times.
+
+:func:`precompute_conditions` walks the run once, builds the per-step
+model list (deduplicated on exact ``(lux, temperature)``), and solves
+every unique condition's Voc/Isc/MPP in one vectorized pass
+(:func:`repro.pv.batch.solve_models`).  The resulting
+:class:`PrecomputedConditions` plugs into the simulator's
+``precomputed=`` argument; controllers then see exactly the models they
+would have seen live, with the solves already memoised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.pv.batch import solve_models
+from repro.pv.cells import PVCell
+from repro.pv.irradiance import FLUORESCENT, LightSource
+from repro.pv.single_diode import SingleDiodeModel
+from repro.units import T_STC
+
+
+@dataclass
+class PrecomputedConditions:
+    """Per-step operating conditions for one (environment, cell) run.
+
+    Attributes:
+        dt: the step the trace was sampled at, seconds.
+        times: step start times, seconds (length = step count).
+        lux: illuminance per step (already clamped at zero).
+        temperature: cell temperature per step, kelvin.
+        models: per-step single-diode models; repeated conditions share
+            one instance, whose characteristic points are pre-solved.
+        source: the light-source spectrum the models were built for.
+        unique_conditions: number of distinct ``(lux, temperature)``
+            pairs the run visits (the batch-solve workload).
+    """
+
+    dt: float
+    times: np.ndarray
+    lux: np.ndarray
+    temperature: np.ndarray
+    models: List[SingleDiodeModel]
+    source: LightSource = FLUORESCENT
+    unique_conditions: int = 0
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+
+def precompute_conditions(
+    cell: PVCell,
+    environment: Callable[[float], float],
+    duration: float,
+    dt: float,
+    source: LightSource = FLUORESCENT,
+    thermal=None,
+    temperature: float = T_STC,
+    start_time: float = 0.0,
+    solve: bool = True,
+) -> PrecomputedConditions:
+    """Sample a run's conditions once and batch-solve the unique ones.
+
+    The walk replicates the live simulator exactly: the environment is
+    evaluated at the same accumulated times, and a supplied thermal
+    model is stepped through the same sequence (it is *consumed* — pass
+    a fresh instance, not one shared with a live simulator).
+
+    Args:
+        cell: the harvesting cell.
+        environment: callable ``lux(t)``.
+        duration: run length, seconds.
+        dt: quasi-static step, seconds.
+        source: light-source spectrum.
+        thermal: optional :class:`~repro.pv.thermal.CellThermalModel`
+            driven by the lux trace (its state is advanced here).
+        temperature: fixed cell temperature when ``thermal`` is None.
+        start_time: trace start, seconds.
+        solve: batch-solve Voc/Isc/MPP of the unique conditions and
+            memoise them on the shared model instances.
+
+    Returns:
+        A :class:`PrecomputedConditions` covering ``duration``.
+    """
+    if dt <= 0.0:
+        raise ModelParameterError(f"dt must be positive, got {dt!r}")
+    steps = int(round(duration / dt))
+
+    times = np.empty(steps)
+    lux = np.empty(steps)
+    temps = np.empty(steps)
+    t = start_time
+    for i in range(steps):
+        times[i] = t
+        level = max(0.0, float(environment(t)))
+        lux[i] = level
+        if thermal is not None:
+            temps[i] = thermal.step(level, dt, source.efficacy_lm_per_w)
+        else:
+            temps[i] = temperature
+        t += dt
+
+    models: List[SingleDiodeModel] = []
+    index: Dict[Tuple[float, float], SingleDiodeModel] = {}
+    for i in range(steps):
+        key = (lux[i], temps[i])
+        model = index.get(key)
+        if model is None:
+            model = cell.model_at(float(lux[i]), source=source, temperature=float(temps[i]))
+            index[key] = model
+        models.append(model)
+
+    if solve and index:
+        solve_models(list(index.values()), memoize=True)
+
+    return PrecomputedConditions(
+        dt=dt,
+        times=times,
+        lux=lux,
+        temperature=temps,
+        models=models,
+        source=source,
+        unique_conditions=len(index),
+    )

@@ -23,13 +23,17 @@ compares them all.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, runtime_checkable
 
 from repro.errors import ModelParameterError
+from repro.pv.cache import CachedPVCell
 from repro.pv.cells import PVCell
 from repro.pv.irradiance import FLUORESCENT, LightSource
 from repro.pv.single_diode import SingleDiodeModel
+from repro.sim.precompute import PrecomputedConditions
 from repro.sim.traces import TraceSet
 from repro.units import T_STC
 
@@ -186,6 +190,17 @@ class QuasiStaticSimulator:
             which is what separates FOCV from fixed-voltage operation on
             a sun-heated outdoor cell.
         record: whether to record traces.
+        precomputed: optional
+            :class:`~repro.sim.precompute.PrecomputedConditions` for
+            this (cell, environment) pair: steps aligned with the trace
+            skip the environment/thermal/model solves entirely and
+            consume the pre-solved operating points (identical
+            numerics).  Mutually exclusive with ``thermal`` — the
+            precompute owns the thermal stepping.
+        cache: wrap the cell in a
+            :class:`~repro.pv.cache.CachedPVCell` (exact keying) so
+            repeated conditions are solved once.  Ignored when the cell
+            is already cached.
     """
 
     def __init__(
@@ -201,7 +216,16 @@ class QuasiStaticSimulator:
         temperature: float = T_STC,
         thermal=None,
         record: bool = True,
+        precomputed: Optional[PrecomputedConditions] = None,
+        cache: bool = False,
     ):
+        if precomputed is not None and thermal is not None:
+            raise ModelParameterError(
+                "pass the thermal model to precompute_conditions, not the simulator, "
+                "when running from a precomputed trace"
+            )
+        if cache and not isinstance(cell, CachedPVCell):
+            cell = CachedPVCell(cell)
         self.cell = cell
         self.controller = controller
         self.environment = environment
@@ -213,9 +237,11 @@ class QuasiStaticSimulator:
         self.temperature = temperature
         self.thermal = thermal
         self.record = record
+        self.precomputed = precomputed
         self.traces = TraceSet()
         self.summary = HarvestSummary()
         self.time = 0.0
+        self._step_index = 0
         # MPP solves are the cost centre of long runs; light levels are
         # smooth, so cache the ideal-MPP power on a quantised
         # photocurrent grid (0.25 % bins -> well under 0.1 % power error).
@@ -229,8 +255,6 @@ class QuasiStaticSimulator:
     def _ideal_power(self, model) -> float:
         """True-MPP power for the step's curve, cached on quantised
         (photocurrent, temperature)."""
-        import math
-
         if model.photocurrent <= 0.0:
             return 0.0
         key = (round(math.log(model.photocurrent) * 400.0), round(model.temperature * 2.0))
@@ -245,12 +269,26 @@ class QuasiStaticSimulator:
         if dt <= 0.0:
             raise ModelParameterError(f"dt must be positive, got {dt!r}")
         t = self.time
-        lux = max(0.0, float(self.environment(t)))
-        if self.thermal is not None:
-            temperature = self.thermal.step(lux, dt, self.source.efficacy_lm_per_w)
+        pc = self.precomputed
+        index = self._step_index
+        if (
+            pc is not None
+            and index < len(pc.models)
+            and dt == pc.dt
+            and t == pc.times[index]
+        ):
+            # Fast path: the whole condition chain (environment, thermal,
+            # model, Voc/MPP) was computed once for this trace — steps
+            # that stay aligned with it just consume the results.
+            lux = float(pc.lux[index])
+            model = pc.models[index]
         else:
-            temperature = self.temperature
-        model = self.cell.model_at(lux, source=self.source, temperature=temperature)
+            lux = max(0.0, float(self.environment(t)))
+            if self.thermal is not None:
+                temperature = self.thermal.step(lux, dt, self.source.efficacy_lm_per_w)
+            else:
+                temperature = self.temperature
+            model = self.cell.model_at(lux, source=self.source, temperature=temperature)
         storage_v = self._storage_voltage()
         supply_v = storage_v if self.storage is not None else self.supply_voltage
 
@@ -312,6 +350,7 @@ class QuasiStaticSimulator:
             self.traces.record("v_storage", t, self._storage_voltage())
 
         self.time += dt
+        self._step_index += 1
         return StepResult(
             time=t,
             lux=lux,

@@ -57,17 +57,27 @@ class TransientSimulator:
         self.traces = TraceSet()
         self.time = 0.0
         self._step_count = 0
+        self._resolved_names: Optional[tuple] = None
 
     def _record(self, t: float) -> None:
         signals = self.system.signals()
-        names = self.record_names if self.record_names is not None else signals.keys()
+        names = self._resolved_names
+        if names is None:
+            # Resolve and validate the selection once against the first
+            # signals() mapping; recording happens every step (possibly
+            # decimated) of a microsecond-step run, so the per-name
+            # membership check must not be in the hot path.
+            requested = self.record_names if self.record_names is not None else signals.keys()
+            for name in requested:
+                if name not in signals:
+                    raise SimulationError(
+                        f"requested signal {name!r} not provided by system; "
+                        f"available: {sorted(signals)}"
+                    )
+            names = self._resolved_names = tuple(requested)
+        record = self.traces.record
         for name in names:
-            if name not in signals:
-                raise SimulationError(
-                    f"requested signal {name!r} not provided by system; "
-                    f"available: {sorted(signals)}"
-                )
-            self.traces.record(name, t, float(signals[name]))
+            record(name, t, float(signals[name]))
 
     def run(self, duration: float) -> TraceSet:
         """Simulate for ``duration`` seconds (continuing from current time).

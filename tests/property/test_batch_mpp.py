@@ -1,0 +1,78 @@
+"""Property tests: the vectorized batch solver agrees with the scalar path.
+
+The batch golden-section search mirrors the scalar one update for
+update, but at a flat maximum the last few comparisons can flip on
+sub-epsilon power differences — so ``v_mpp`` is only pinned to the
+noise ball around the optimum while ``p_mpp`` (the physically
+meaningful output) agrees to ~1e-12 relative, and Voc/Isc (closed-form
+Lambert-W evaluations) agree essentially bitwise.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pv.batch import batch_mpp, solve_models
+from repro.pv.cells import am_1815, generic_csi, schott_1116929
+from repro.pv.mpp import k_factor, k_factor_curve
+
+lux_levels = st.floats(min_value=200.0, max_value=5000.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(lux=lux_levels)
+def test_batch_matches_scalar_single_level(lux):
+    cell = am_1815()
+    scalar = cell.mpp(lux)
+    batch = batch_mpp(cell, [lux])
+    assert np.isclose(batch.voc[0], scalar.voc, rtol=1e-12, atol=0.0)
+    assert np.isclose(batch.p_mpp[0], scalar.power, rtol=1e-9, atol=1e-18)
+    assert abs(batch.v_mpp[0] - scalar.voltage) < 1e-6 * max(scalar.voc, 1.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    levels=st.lists(lux_levels, min_size=1, max_size=8),
+)
+def test_batch_matches_scalar_across_grids(levels):
+    cell = am_1815()
+    batch = batch_mpp(cell, levels)
+    assert len(batch.voc) == len(levels)
+    for i, lux in enumerate(levels):
+        scalar = cell.mpp(lux)
+        assert np.isclose(batch.voc[i], scalar.voc, rtol=1e-12, atol=0.0)
+        assert np.isclose(batch.isc[i], scalar.isc, rtol=1e-12, atol=0.0)
+        assert np.isclose(batch.p_mpp[i], scalar.power, rtol=1e-9, atol=1e-18)
+
+
+def test_batch_memoizes_onto_models():
+    cell = am_1815()
+    models = [cell.model_at(lux) for lux in (250.0, 1000.0, 4000.0)]
+    result = solve_models(models, memoize=True)
+    for i, model in enumerate(models):
+        # Memoised: the instance answers without re-solving, and agrees
+        # with the batch arrays it was filled from.
+        assert model.voc() == result.voc[i]
+        assert model.mpp().power == result.p_mpp[i]
+
+
+def test_mpp_result_roundtrip():
+    cell = schott_1116929()
+    batch = batch_mpp(cell, [300.0, 2000.0])
+    for i in (0, 1):
+        r = batch.mpp_result(i)
+        assert r.power == batch.p_mpp[i]
+        assert r.voltage == batch.v_mpp[i]
+        assert r.voc == batch.voc[i]
+
+
+def test_k_factor_curve_matches_scalar_k():
+    for cell in (am_1815(), generic_csi()):
+        levels = [200.0, 500.0, 1000.0, 2500.0, 5000.0]
+        curve = k_factor_curve(cell, levels)
+        scalars = np.array([k_factor(cell, lux) for lux in levels])
+        assert np.allclose(curve, scalars, rtol=0.0, atol=1e-6)
+
+
+def test_k_factor_curve_empty():
+    assert len(k_factor_curve(am_1815(), [])) == 0

@@ -1,0 +1,114 @@
+"""The condition-keyed solve cache: counters, bounds, and hit rates."""
+
+import pytest
+
+from repro.env.profiles import StepProfile
+from repro.errors import ModelParameterError
+from repro.pv.cache import CachedPVCell, SolveCache, cached_cell
+from repro.pv.cells import am_1815
+from repro.sim.quasistatic import QuasiStaticSimulator
+
+
+class _CountingController:
+    name = "counting"
+
+    def decide(self, obs):
+        from repro.sim.quasistatic import ControlDecision
+
+        return ControlDecision(operating_voltage=obs.cell_model.voc() * 0.6)
+
+
+class TestSolveCache:
+    def test_counts_hits_and_misses(self):
+        cache = SolveCache(max_entries=8)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5
+
+    def test_size_stays_bounded_and_evictions_count(self):
+        cache = SolveCache(max_entries=3)
+        for key in "abcd":
+            cache.put(key, key.upper())
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+        assert "a" not in cache  # oldest entry went first
+
+    def test_eviction_is_least_recently_used(self):
+        cache = SolveCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_clear_keeps_counters(self):
+        cache = SolveCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ModelParameterError):
+            SolveCache(max_entries=0)
+
+
+class TestCachedPVCell:
+    def test_repeated_condition_returns_same_model_instance(self):
+        cell = CachedPVCell(am_1815())
+        first = cell.model_at(500.0)
+        second = cell.model_at(500.0)
+        assert first is second
+        assert cell.stats.misses == 1
+        assert cell.stats.hits == 1
+
+    def test_exact_keying_matches_uncached_cell(self):
+        plain = am_1815()
+        cached = CachedPVCell(am_1815())
+        for lux in (200.0, 350.0, 1000.0, 200.0):
+            assert cached.voc(lux) == plain.voc(lux)
+            assert cached.mpp(lux).power == plain.mpp(lux).power
+
+    def test_quantized_keys_collapse_nearby_conditions(self):
+        cached = CachedPVCell(am_1815(), lux_quantum=10.0)
+        a = cached.model_at(501.0)
+        b = cached.model_at(498.0)  # both snap to 500 lux
+        assert a is b
+        assert cached.stats.hits == 1
+
+    def test_step_profile_run_exceeds_99_percent_hit_rate(self):
+        # An office-style schedule revisits a handful of levels for hours;
+        # one simulated hour at dt=10 is 360 lookups over 3 conditions.
+        profile = StepProfile([(0.0, 400.0), (1200.0, 800.0), (2400.0, 150.0)])
+        sim = QuasiStaticSimulator(
+            am_1815(), _CountingController(), profile, record=False, cache=True
+        )
+        sim.run(3600.0, dt=10.0)
+        stats = sim.cell.stats
+        assert stats.lookups >= 360
+        assert stats.hit_rate > 0.99
+
+    def test_cached_cell_helper_is_idempotent(self):
+        cell = cached_cell()
+        assert cached_cell(cell) is cell
+        assert isinstance(cell, CachedPVCell)
+
+    def test_degraded_returns_fresh_cache(self):
+        cached = CachedPVCell(am_1815(), max_entries=128, lux_quantum=5.0)
+        cached.model_at(500.0)
+        aged = cached.degraded(years=5.0)
+        assert isinstance(aged, CachedPVCell)
+        assert aged.cache.max_entries == 128
+        assert aged.lux_quantum == 5.0
+        assert len(aged.cache) == 0
+        assert aged.voc(500.0) < cached.voc(500.0)
+
+    def test_negative_quantum_rejected(self):
+        with pytest.raises(ModelParameterError):
+            CachedPVCell(am_1815(), lux_quantum=-1.0)
