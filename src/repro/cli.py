@@ -12,6 +12,7 @@ Usage::
     python -m repro coldstart [--lux 200]
     python -m repro sec2b
     python -m repro comparison [--hours 24]   # E8 (slow)
+    python -m repro resilience [--seed 0]     # E16 fault-injection (slow)
     python -m repro endurance                 # E12 (slow)
 """
 
@@ -94,6 +95,15 @@ def _cmd_comparison(args) -> str:
     return comparison.render_quiescent() + "\n\n" + comparison.render(results)
 
 
+def _cmd_resilience(args) -> str:
+    from repro.experiments import resilience
+
+    report = resilience.run_resilience(
+        duration=args.hours * 3600.0, dt=args.dt, seed=args.seed
+    )
+    return resilience.render(report)
+
+
 def _cmd_endurance(args) -> str:
     from repro.experiments import endurance
 
@@ -132,6 +142,7 @@ COMMANDS: Dict[str, Callable] = {
     "montecarlo": _cmd_montecarlo,
     "spectra": _cmd_spectra,
     "comparison": _cmd_comparison,
+    "resilience": _cmd_resilience,
     "endurance": _cmd_endurance,
     "teg": _cmd_teg,
     "aging": _cmd_aging,
@@ -153,6 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--lux", type=float, default=1000.0 if name == "fig4" else 200.0)
         if name == "comparison":
             p.add_argument("--hours", type=float, default=24.0)
+        if name == "resilience":
+            p.add_argument("--hours", type=float, default=24.0)
+            p.add_argument("--dt", type=float, default=60.0)
+            p.add_argument("--seed", type=int, default=0)
         if name == "montecarlo":
             p.add_argument("--boards", type=int, default=500)
     return parser

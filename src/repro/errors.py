@@ -37,9 +37,40 @@ class ColdStartError(SimulationError):
     """The system failed to cold-start within the allotted simulation window."""
 
 
+class NumericalGuardError(SimulationError):
+    """A simulated quantity went non-finite (NaN/Inf) — the engine stops
+    instead of silently corrupting downstream energy accounting."""
+
+    def __init__(self, message: str, signal: str = "", time: float = float("nan")):
+        super().__init__(message)
+        self.signal = signal
+        self.time = time
+
+
 class TraceError(ReproError, KeyError):
     """A requested signal trace does not exist or is malformed."""
 
 
 class ConfigurationError(ReproError, ValueError):
     """A system-level configuration is inconsistent (e.g. mismatched rails)."""
+
+
+class FaultConfigError(ReproError, ValueError):
+    """A fault schedule or fault wrapper was configured inconsistently."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """The parallel experiment runner could not complete a batch of specs."""
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """A pool worker died (segfault, OOM kill) and recovery was disabled."""
+
+
+class WorkerTimeoutError(ParallelExecutionError):
+    """A spec exceeded the runner's per-spec timeout."""
+
+    def __init__(self, message: str, spec_index: int = -1, timeout: float = float("nan")):
+        super().__init__(message)
+        self.spec_index = spec_index
+        self.timeout = timeout

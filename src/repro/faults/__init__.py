@@ -1,0 +1,53 @@
+"""Deterministic fault injection for robustness experiments.
+
+The paper's claim is not just "the S&H FOCV front-end tracks well" but
+that it keeps tracking — and cold-starts — across the whole
+indoor→outdoor envelope.  Real deployments see light dropouts, flicker
+bursts, drifting components and browning-out converters; this package
+injects those adversities *deterministically* so robustness can be
+measured and regression-tested instead of assumed.
+
+Three layers:
+
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule`, a seedable set
+  of time windows during which a fault is active.  Same seed, same
+  windows, every run.
+* :mod:`repro.faults.light` — :class:`~repro.env.profiles.LightProfile`
+  wrappers (dropout, flicker bursts, step/ramp irradiance transients)
+  that compose with any existing scenario without modifying it.
+* :mod:`repro.faults.components` — wrappers for the electrical chain:
+  sampling-capacitor leakage spikes and setpoint drift on a controller,
+  converter brownout, storage open/short.  Time-dependent wrappers
+  implement a ``tick(t, dt)`` hook the quasi-static engine calls at the
+  top of every step.
+
+:mod:`repro.experiments.resilience` assembles these into named fault
+suites and reports degradation metrics against the clean run.
+"""
+
+from repro.faults.schedule import FaultSchedule, FaultWindow
+from repro.faults.light import (
+    FlickerBurstFault,
+    IrradianceRampFault,
+    IrradianceStepFault,
+    LightDropoutFault,
+)
+from repro.faults.components import (
+    ConverterBrownoutFault,
+    HoldLeakageFault,
+    SetpointDriftFault,
+    StorageFault,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "FaultWindow",
+    "LightDropoutFault",
+    "FlickerBurstFault",
+    "IrradianceStepFault",
+    "IrradianceRampFault",
+    "SetpointDriftFault",
+    "HoldLeakageFault",
+    "ConverterBrownoutFault",
+    "StorageFault",
+]

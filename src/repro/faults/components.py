@@ -1,0 +1,216 @@
+"""Electrical-chain fault wrappers: controller, converter, storage.
+
+Controller faults wrap the :class:`~repro.sim.quasistatic.HarvestingController`
+protocol — they see the observation (which carries the step time), so no
+extra plumbing is needed.  Converter and storage faults are *time-aware*
+wrappers: the quasi-static engine calls their ``tick(t, dt)`` hook at
+the top of every step, after which the wrapped object's ordinary
+interface behaves per the fault state.  The wrapped component itself is
+never modified.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FaultConfigError
+from repro.faults.schedule import FaultSchedule
+from repro.sim.quasistatic import ControlDecision, HarvestingController, Observation
+
+
+class SetpointDriftFault:
+    """Comparator offset / reference drift on any controller's setpoint.
+
+    Models an input-offset step (window-gated) plus a slow linear drift
+    of the comparison chain — the paper's R1/R2 divider and U3
+    comparator are exactly the components a robustness analysis expects
+    to drift.  The commanded operating voltage is shifted; the cell then
+    operates off-MPP by that much.
+
+    Args:
+        base: the controller under fault.
+        schedule: when the offset step is applied (empty schedule with a
+            nonzero ``drift_per_hour`` gives pure drift).
+        offset_volts: setpoint shift during windows, volts.
+        drift_per_hour: always-on linear setpoint drift, volts/hour.
+    """
+
+    def __init__(
+        self,
+        base: HarvestingController,
+        schedule: FaultSchedule,
+        offset_volts: float = 0.0,
+        drift_per_hour: float = 0.0,
+    ):
+        self.base = base
+        self.schedule = schedule
+        self.offset_volts = offset_volts
+        self.drift_per_hour = drift_per_hour
+        self.name = f"{base.name}+drift"
+
+    def decide(self, obs: Observation) -> ControlDecision:
+        decision = self.base.decide(obs)
+        if decision.operating_voltage is None:
+            return decision
+        shift = self.drift_per_hour * (obs.time / 3600.0)
+        if self.schedule.active(obs.time):
+            shift += self.offset_volts
+        if shift == 0.0:
+            return decision
+        shifted = max(0.0, decision.operating_voltage + shift)
+        return ControlDecision(
+            operating_voltage=shifted,
+            harvest_duty=decision.harvest_duty,
+            overhead_current=decision.overhead_current,
+            note=decision.note or "setpoint drift",
+        )
+
+
+class HoldLeakageFault:
+    """Sampling-capacitor leakage spikes on a :class:`SampleHoldMPPT`.
+
+    During fault windows the hold capacitor droops ``droop_multiplier``
+    times faster than nominal — the "low-leakage polyester capacitor"
+    temporarily behaving like a cheap electrolytic (humidity, board
+    contamination).  Implemented by injecting extra droop time into the
+    platform's own sample-and-hold model after each step, so the
+    sampling dynamics themselves stay untouched.
+
+    Args:
+        base: the S&H platform under fault (must expose
+            ``config.sample_hold``).
+        schedule: when the leakage spike is active.
+        droop_multiplier: droop-rate multiplier during windows (> 1).
+    """
+
+    def __init__(self, base, schedule: FaultSchedule, droop_multiplier: float = 50.0):
+        sample_hold = getattr(getattr(base, "config", None), "sample_hold", None)
+        if sample_hold is None:
+            raise FaultConfigError(
+                "HoldLeakageFault wraps a SampleHoldMPPT-style controller "
+                "exposing config.sample_hold"
+            )
+        if droop_multiplier <= 1.0:
+            raise FaultConfigError(
+                f"droop_multiplier must be > 1, got {droop_multiplier!r}"
+            )
+        self.base = base
+        self.schedule = schedule
+        self.droop_multiplier = droop_multiplier
+        self.name = f"{base.name}+leaky-hold"
+
+    def decide(self, obs: Observation) -> ControlDecision:
+        decision = self.base.decide(obs)
+        if self.schedule.active(obs.time):
+            # The platform already drooped obs.dt at nominal rate; add
+            # the excess as extra hold time on the same capacitor model.
+            self.base.config.sample_hold.droop(obs.dt * (self.droop_multiplier - 1.0))
+        return decision
+
+
+class ConverterBrownoutFault:
+    """Converter disabled (no power transfer) during fault windows.
+
+    Models supply brownout of the converter IC: while the fault is
+    active the converter transfers nothing, and harvested energy for
+    those steps is lost.  Needs the engine's ``tick`` hook to know the
+    time; outside windows it is transparent.
+
+    Args:
+        base: the converter under fault (quasi-static interface).
+        schedule: when the brownout is active.
+    """
+
+    def __init__(self, base, schedule: FaultSchedule):
+        self.base = base
+        self.schedule = schedule
+        self._browned_out = False
+
+    def tick(self, t: float, dt: float) -> None:
+        """Engine hook: update the fault state for the step starting at ``t``."""
+        self._browned_out = self.schedule.active(t)
+
+    @property
+    def browned_out(self) -> bool:
+        """Whether the converter is currently browned out."""
+        return self._browned_out
+
+    @property
+    def min_input_voltage(self) -> float:
+        return self.base.min_input_voltage
+
+    def output_power(self, p_in: float, v_in: float, v_out: float) -> float:
+        if self._browned_out:
+            return 0.0
+        return self.base.output_power(p_in, v_in, v_out)
+
+    def efficiency(self, p_in: float, v_in: float) -> float:
+        if self._browned_out:
+            return 0.0
+        return self.base.efficiency(p_in, v_in)
+
+
+class StorageFault:
+    """Open- or short-circuit faults on an energy store.
+
+    * ``mode="open"`` — the storage terminal disconnects during windows:
+      no charge goes in, no load is served from it (exchange moves
+      nothing), the voltage floats where it was.
+    * ``mode="short"`` — a parasitic resistance appears across the
+      terminals during windows, bleeding the store at ``v²/R`` watts.
+
+    Args:
+        base: the energy store under fault.
+        schedule: when the fault is active.
+        mode: ``"open"`` or ``"short"``.
+        short_resistance: the parasitic path, ohms (``"short"`` mode).
+    """
+
+    def __init__(
+        self,
+        base,
+        schedule: FaultSchedule,
+        mode: str = "open",
+        short_resistance: float = 100.0,
+    ):
+        if mode not in ("open", "short"):
+            raise FaultConfigError(f"mode must be open/short, got {mode!r}")
+        if short_resistance <= 0.0:
+            raise FaultConfigError(
+                f"short_resistance must be positive, got {short_resistance!r}"
+            )
+        self.base = base
+        self.schedule = schedule
+        self.mode = mode
+        self.short_resistance = short_resistance
+        self._active = False
+
+    def tick(self, t: float, dt: float) -> None:
+        """Engine hook: update fault state; bleed the store in short mode."""
+        self._active = self.schedule.active(t)
+        if self._active and self.mode == "short":
+            v = self.base.voltage
+            if v > 0.0:
+                self.base.exchange(-(v * v / self.short_resistance), dt)
+
+    @property
+    def fault_active(self) -> bool:
+        """Whether the fault is active this step."""
+        return self._active
+
+    @property
+    def voltage(self) -> float:
+        return self.base.voltage
+
+    def exchange(self, power: float, dt: float) -> float:
+        if self._active and self.mode == "open":
+            return 0.0
+        return self.base.exchange(power, dt)
+
+
+__all__ = [
+    "SetpointDriftFault",
+    "HoldLeakageFault",
+    "ConverterBrownoutFault",
+    "StorageFault",
+]

@@ -1,0 +1,157 @@
+"""Light-path fault wrappers.
+
+Each class here is a :class:`~repro.env.profiles.LightProfile` that
+wraps another profile and perturbs it during its schedule's windows, so
+any existing scenario — the Fig. 2 desk day, the semi-mobile excursion,
+a constant bench level — can be subjected to dropouts, flicker or
+irradiance transients without touching the scenario code.  All wrappers
+are pure functions of time, so they compose with the precompute fast
+path exactly like the profiles they wrap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.env.profiles import LightProfile
+from repro.errors import FaultConfigError
+from repro.faults.schedule import FaultSchedule
+
+
+class LightDropoutFault(LightProfile):
+    """Light loss during fault windows (lamp failure, occlusion, tunnel).
+
+    Args:
+        base: the profile under fault.
+        schedule: when the dropout is active.
+        residual: fraction of the base level that survives the dropout
+            (0 = total darkness, 0.05 = deep shadow).
+    """
+
+    def __init__(self, base: LightProfile, schedule: FaultSchedule, residual: float = 0.0):
+        if not 0.0 <= residual < 1.0:
+            raise FaultConfigError(f"residual must be in [0, 1), got {residual!r}")
+        self.base = base
+        self.schedule = schedule
+        self.residual = residual
+
+    def lux(self, t: float) -> float:
+        level = self.base(t)
+        if self.schedule.active(t):
+            return level * self.residual
+        return level
+
+
+class FlickerBurstFault(LightProfile):
+    """Square-wave chop of the light during fault windows.
+
+    Models the bursty flicker of a failing ballast or intermittent
+    contact: inside a window the light alternates between the base level
+    and ``depth`` times it at ``chop_period``.  Deterministic — the chop
+    phase is referenced to each window's start.
+
+    Args:
+        base: the profile under fault.
+        schedule: when the flicker bursts occur.
+        chop_period: full on/off cycle length, seconds.
+        depth: multiplier applied during the dark half-cycle.
+        duty: fraction of each chop period spent bright.
+    """
+
+    def __init__(
+        self,
+        base: LightProfile,
+        schedule: FaultSchedule,
+        chop_period: float = 2.0,
+        depth: float = 0.0,
+        duty: float = 0.5,
+    ):
+        if chop_period <= 0.0:
+            raise FaultConfigError(f"chop_period must be positive, got {chop_period!r}")
+        if not 0.0 <= depth < 1.0:
+            raise FaultConfigError(f"depth must be in [0, 1), got {depth!r}")
+        if not 0.0 < duty < 1.0:
+            raise FaultConfigError(f"duty must be in (0, 1), got {duty!r}")
+        self.base = base
+        self.schedule = schedule
+        self.chop_period = chop_period
+        self.depth = depth
+        self.duty = duty
+
+    def lux(self, t: float) -> float:
+        level = self.base(t)
+        window = self.schedule.window_at(t)
+        if window is None:
+            return level
+        phase = math.fmod(t - window.start, self.chop_period) / self.chop_period
+        if phase < self.duty:
+            return level
+        return level * self.depth
+
+
+class IrradianceStepFault(LightProfile):
+    """A persistent step change in irradiance from ``at`` onwards.
+
+    Models a sudden, lasting environment change — a blind pulled, the
+    cell knocked into shadow, a lamp swapped for a brighter one.
+
+    Args:
+        base: the profile under fault.
+        at: step time, seconds.
+        factor: multiplier applied from ``at`` onwards.
+    """
+
+    def __init__(self, base: LightProfile, at: float, factor: float):
+        if factor < 0.0:
+            raise FaultConfigError(f"factor must be >= 0, got {factor!r}")
+        self.base = base
+        self.at = at
+        self.factor = factor
+
+    def lux(self, t: float) -> float:
+        level = self.base(t)
+        if t >= self.at:
+            return level * self.factor
+        return level
+
+
+class IrradianceRampFault(LightProfile):
+    """A slow multiplicative ramp between two times (dust, fog bank).
+
+    The multiplier moves linearly from 1 at ``start`` to ``factor`` at
+    ``end`` and holds afterwards — the gradual transient that defeats a
+    tracker with a too-long sampling period.
+
+    Args:
+        base: the profile under fault.
+        start: ramp start, seconds.
+        end: ramp end, seconds.
+        factor: final multiplier.
+    """
+
+    def __init__(self, base: LightProfile, start: float, end: float, factor: float):
+        if end <= start:
+            raise FaultConfigError(f"ramp needs end > start, got [{start!r}, {end!r}]")
+        if factor < 0.0:
+            raise FaultConfigError(f"factor must be >= 0, got {factor!r}")
+        self.base = base
+        self.start = start
+        self.end = end
+        self.factor = factor
+
+    def lux(self, t: float) -> float:
+        level = self.base(t)
+        if t <= self.start:
+            return level
+        if t >= self.end:
+            return level * self.factor
+        blend = (t - self.start) / (self.end - self.start)
+        return level * (1.0 + blend * (self.factor - 1.0))
+
+
+__all__ = [
+    "LightDropoutFault",
+    "FlickerBurstFault",
+    "IrradianceStepFault",
+    "IrradianceRampFault",
+]

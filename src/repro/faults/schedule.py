@@ -1,0 +1,184 @@
+"""Deterministic, seedable fault-activation schedules.
+
+A :class:`FaultSchedule` is an immutable, time-sorted set of
+:class:`FaultWindow` intervals.  Every fault wrapper in
+:mod:`repro.faults` consults one to decide whether it is active at a
+given simulation time, so a fault campaign is a pure function of its
+construction arguments: the same seed produces the same windows, the
+same run, the same degradation report.
+
+Schedules are built three ways:
+
+* explicitly (:meth:`FaultSchedule.from_windows`) — hand-placed windows
+  for targeted tests (e.g. "drop the light at noon for ten minutes");
+* periodically (:meth:`FaultSchedule.periodic`) — evenly spaced windows
+  for flicker/chop campaigns;
+* stochastically (:meth:`FaultSchedule.bursts`) — a seeded
+  Poisson-process burst train, the shape Politi et al. report for real
+  indoor lighting (intermittent, clustered interruptions).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FaultConfigError
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One contiguous interval during which a fault is active.
+
+    Attributes:
+        start: window start, seconds (inclusive).
+        end: window end, seconds (exclusive).
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not (self.end > self.start):
+            raise FaultConfigError(
+                f"fault window must have end > start, got [{self.start!r}, {self.end!r})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Window length, seconds."""
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        """Whether time ``t`` falls inside the window."""
+        return self.start <= t < self.end
+
+
+class FaultSchedule:
+    """An immutable, sorted, non-overlapping set of fault windows.
+
+    Args:
+        windows: the activation intervals; overlapping or touching
+            windows are merged so :meth:`active` is well defined.
+    """
+
+    def __init__(self, windows: Iterable[FaultWindow] = ()):
+        merged: List[FaultWindow] = []
+        for w in sorted(windows, key=lambda w: w.start):
+            if merged and w.start <= merged[-1].end:
+                last = merged[-1]
+                merged[-1] = FaultWindow(last.start, max(last.end, w.end))
+            else:
+                merged.append(w)
+        self.windows: Tuple[FaultWindow, ...] = tuple(merged)
+        self._starts = [w.start for w in self.windows]
+
+    # --- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_windows(cls, spans: Sequence[Tuple[float, float]]) -> "FaultSchedule":
+        """Build from explicit ``(start, end)`` pairs."""
+        return cls(FaultWindow(s, e) for s, e in spans)
+
+    @classmethod
+    def periodic(
+        cls, first: float, period: float, width: float, count: int
+    ) -> "FaultSchedule":
+        """``count`` windows of ``width`` seconds, every ``period`` seconds.
+
+        Args:
+            first: start of the first window, seconds.
+            period: spacing between window starts, seconds.
+            width: each window's duration, seconds.
+            count: number of windows.
+        """
+        if period <= 0.0 or width <= 0.0:
+            raise FaultConfigError("period and width must be positive")
+        if width >= period:
+            raise FaultConfigError(
+                f"width {width!r} must be below period {period!r} (else the fault is permanent)"
+            )
+        if count < 1:
+            raise FaultConfigError(f"count must be >= 1, got {count!r}")
+        return cls(
+            FaultWindow(first + k * period, first + k * period + width) for k in range(count)
+        )
+
+    @classmethod
+    def bursts(
+        cls,
+        duration: float,
+        rate_per_hour: float,
+        mean_width: float,
+        seed: int = 0,
+        earliest: float = 0.0,
+    ) -> "FaultSchedule":
+        """A seeded Poisson burst train over ``[earliest, duration)``.
+
+        Burst arrivals are exponential with the given hourly rate; burst
+        lengths are exponential with ``mean_width``.  Fully determined
+        by the arguments — the same seed reproduces the same train.
+
+        Args:
+            duration: horizon over which bursts may occur, seconds.
+            rate_per_hour: mean burst arrivals per hour.
+            mean_width: mean burst duration, seconds.
+            seed: RNG seed.
+            earliest: no burst begins before this time, seconds.
+        """
+        if duration <= 0.0:
+            raise FaultConfigError(f"duration must be positive, got {duration!r}")
+        if rate_per_hour <= 0.0 or mean_width <= 0.0:
+            raise FaultConfigError("rate_per_hour and mean_width must be positive")
+        rng = np.random.default_rng(seed)
+        windows: List[FaultWindow] = []
+        t = earliest
+        mean_gap = 3600.0 / rate_per_hour
+        while True:
+            t += float(rng.exponential(mean_gap))
+            if t >= duration:
+                break
+            width = max(1.0, float(rng.exponential(mean_width)))
+            windows.append(FaultWindow(t, min(duration, t + width)))
+            t += width
+        return cls(windows)
+
+    # --- queries --------------------------------------------------------------
+
+    def active(self, t: float) -> bool:
+        """Whether any fault window covers time ``t``."""
+        index = bisect.bisect_right(self._starts, t) - 1
+        return index >= 0 and self.windows[index].contains(t)
+
+    def window_at(self, t: float) -> FaultWindow | None:
+        """The window covering ``t``, or None."""
+        index = bisect.bisect_right(self._starts, t) - 1
+        if index >= 0 and self.windows[index].contains(t):
+            return self.windows[index]
+        return None
+
+    @property
+    def total_active_time(self) -> float:
+        """Summed window durations, seconds."""
+        return sum(w.duration for w in self.windows)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __bool__(self) -> bool:
+        return bool(self.windows)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSchedule({len(self.windows)} windows, "
+            f"{self.total_active_time:.0f} s active)"
+        )
+
+
+EMPTY_SCHEDULE = FaultSchedule()
+"""The no-fault schedule (never active) — the clean-run sentinel."""
+
+__all__ = ["FaultWindow", "FaultSchedule", "EMPTY_SCHEDULE"]

@@ -18,7 +18,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import ModelParameterError
+from repro.errors import ModelParameterError, NumericalGuardError
 from repro.node.sensor_node import SensorNode
 
 
@@ -73,6 +73,13 @@ class EnergyAwareScheduler:
 
         Returns None for hibernation.
         """
+        if voltage != voltage:
+            # NaN compares false against both thresholds and would fall
+            # through to min_period — the *fastest* reporting rate on a
+            # store whose state is unknown.  Surface it instead.
+            raise NumericalGuardError(
+                "storage voltage is NaN; refusing to schedule on it", signal="v_storage"
+            )
         if voltage < self.v_survival:
             return None
         if voltage >= self.v_comfort:

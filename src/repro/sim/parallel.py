@@ -3,7 +3,7 @@
 The heavy workloads in this repo — the nine-technique comparison, the
 endurance week, the tolerance Monte Carlo — are embarrassingly parallel
 at the granularity of "one run".  This module fans such runs out over a
-:mod:`concurrent.futures` process pool while keeping three guarantees:
+:mod:`concurrent.futures` process pool while keeping four guarantees:
 
 * **Determinism** — a spec fully describes its run (cell parameters,
   scenario/controller names, seeds), so a worker produces exactly what
@@ -14,18 +14,30 @@ at the granularity of "one run".  This module fans such runs out over a
   pool overhead, so callers can use one code path unconditionally.
 * **Ordering** — results come back in spec order regardless of which
   worker finished first.
+* **Recovery** — if the pool cannot be created (sandboxes without
+  semaphores/fork) or a worker *crashes* (segfault, OOM kill), the
+  batch is transparently re-run serially — specs are deterministic, so
+  the retry yields the same results the pool would have.  Disable with
+  ``fallback_serial=False`` to surface a typed
+  :class:`~repro.errors.WorkerCrashError` instead.  A ``timeout`` puts
+  a per-spec ceiling on pool execution and raises
+  :class:`~repro.errors.WorkerTimeoutError` (never silently retried:
+  a spec that hangs in a worker would hang inline too).
 
 Workers must be *module-level* callables (picklable); closures and
-lambdas only work in serial mode.
+lambdas only work in serial mode.  Exceptions *raised by* ``fn`` are
+not swallowed by the fallback: a deterministic failure reproduces
+serially and propagates as itself.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-from repro.errors import ModelParameterError
+from repro.errors import ModelParameterError, WorkerCrashError, WorkerTimeoutError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -36,12 +48,58 @@ def default_worker_count() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _run_serial(fn: Callable[[T], R], specs: Sequence[T]) -> List[R]:
+    return [fn(spec) for spec in specs]
+
+
+def _run_pool(
+    fn: Callable[[T], R],
+    specs: Sequence[T],
+    workers: int,
+    chunksize: int,
+    timeout: Optional[float],
+) -> List[R]:
+    """Execute on a process pool; raises BrokenProcessPool on worker death."""
+    max_workers = min(workers, max(1, len(specs)))
+    if timeout is None:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(fn, specs, chunksize=chunksize))
+
+    # Timeout path: no context manager — its exit blocks on shutdown
+    # until every worker returns, which is exactly what a hung spec
+    # prevents.  On a breach we cancel what we can and leave without
+    # waiting.
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        futures = [pool.submit(fn, spec) for spec in specs]
+        results: List[R] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result(timeout=timeout))
+            except FutureTimeoutError:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise WorkerTimeoutError(
+                    f"spec {index} exceeded the {timeout} s per-spec timeout",
+                    spec_index=index,
+                    timeout=timeout,
+                ) from None
+        pool.shutdown(wait=True)
+        return results
+    except WorkerTimeoutError:
+        raise
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     max_workers: Optional[int] = None,
     mode: str = "auto",
     chunksize: int = 1,
+    timeout: Optional[float] = None,
+    fallback_serial: bool = True,
 ) -> List[R]:
     """Map ``fn`` over ``items``, preserving order.
 
@@ -54,12 +112,20 @@ def parallel_map(
             pool), or ``"serial"`` (force inline execution).
         chunksize: specs handed to a worker per dispatch; raise it for
             many small specs to amortise IPC.
+        timeout: optional per-spec ceiling, seconds, enforced on the
+            pool path; a breach raises
+            :class:`~repro.errors.WorkerTimeoutError`.
+        fallback_serial: when the pool is unavailable or a worker
+            *crashes*, re-run the batch inline instead of failing; set
+            False to raise :class:`~repro.errors.WorkerCrashError`.
 
     Returns:
         ``[fn(item) for item in items]`` — same values, same order.
     """
     if mode not in ("auto", "process", "serial"):
         raise ModelParameterError(f"mode must be auto/process/serial, got {mode!r}")
+    if timeout is not None and timeout <= 0.0:
+        raise ModelParameterError(f"timeout must be positive, got {timeout!r}")
     specs = list(items)
     workers = max_workers if max_workers is not None else default_worker_count()
     if workers < 1:
@@ -67,10 +133,21 @@ def parallel_map(
 
     use_pool = mode == "process" or (mode == "auto" and workers > 1 and len(specs) > 1)
     if not use_pool:
-        return [fn(spec) for spec in specs]
+        return _run_serial(fn, specs)
 
-    with ProcessPoolExecutor(max_workers=min(workers, max(1, len(specs)))) as pool:
-        return list(pool.map(fn, specs, chunksize=chunksize))
+    try:
+        return _run_pool(fn, specs, workers, chunksize, timeout)
+    except (BrokenProcessPool, OSError, PermissionError) as exc:
+        # Worker death or no pool primitives in this environment.  Specs
+        # are deterministic, so an inline retry is exact — a genuinely
+        # crashing fn will crash the interpreter here too, which is the
+        # honest outcome.
+        if not fallback_serial:
+            raise WorkerCrashError(
+                f"process pool failed ({type(exc).__name__}: {exc}) "
+                "and fallback_serial is disabled"
+            ) from exc
+        return _run_serial(fn, specs)
 
 
 def scatter(items: Sequence[T], parts: int) -> List[Sequence[T]]:

@@ -28,7 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, runtime_checkable
 
-from repro.errors import ModelParameterError
+from repro.errors import ModelParameterError, NumericalGuardError
 from repro.pv.cache import CachedPVCell
 from repro.pv.cells import PVCell
 from repro.pv.irradiance import FLUORESCENT, LightSource
@@ -242,6 +242,11 @@ class QuasiStaticSimulator:
         self.summary = HarvestSummary()
         self.time = 0.0
         self._step_index = 0
+        # Fault wrappers (repro.faults.components) are time-aware but
+        # present the ordinary converter/storage interfaces; they expose
+        # a tick(t, dt) hook the engine calls at the top of each step.
+        self._converter_tick = getattr(converter, "tick", None)
+        self._storage_tick = getattr(storage, "tick", None)
         # MPP solves are the cost centre of long runs; light levels are
         # smooth, so cache the ideal-MPP power on a quantised
         # photocurrent grid (0.25 % bins -> well under 0.1 % power error).
@@ -269,6 +274,10 @@ class QuasiStaticSimulator:
         if dt <= 0.0:
             raise ModelParameterError(f"dt must be positive, got {dt!r}")
         t = self.time
+        if self._converter_tick is not None:
+            self._converter_tick(t, dt)
+        if self._storage_tick is not None:
+            self._storage_tick(t, dt)
         pc = self.precomputed
         index = self._step_index
         if (
@@ -283,7 +292,13 @@ class QuasiStaticSimulator:
             lux = float(pc.lux[index])
             model = pc.models[index]
         else:
-            lux = max(0.0, float(self.environment(t)))
+            raw_lux = float(self.environment(t))
+            if raw_lux != raw_lux:
+                # max(0.0, nan) silently yields 0.0 — surface it instead.
+                raise NumericalGuardError(
+                    f"environment produced NaN lux at t={t:.6g} s", signal="lux", time=t
+                )
+            lux = max(0.0, raw_lux)
             if self.thermal is not None:
                 temperature = self.thermal.step(lux, dt, self.source.efficacy_lm_per_w)
             else:
@@ -318,6 +333,14 @@ class QuasiStaticSimulator:
         else:
             delivered = pv_power
 
+        if delivered < 0.0 or delivered != delivered or pv_power != pv_power:
+            raise NumericalGuardError(
+                f"power went invalid at t={t:.6g} s "
+                f"(pv={pv_power!r} W, delivered={delivered!r} W)",
+                signal="p_delivered",
+                time=t,
+            )
+
         overhead = decision.overhead_current * supply_v
         load_power = self.load(t) if self.load is not None else 0.0
 
@@ -330,6 +353,14 @@ class QuasiStaticSimulator:
             self.storage.exchange(-(overhead + load_power), dt)
         else:
             accepted = delivered
+
+        final_storage_v = self._storage_voltage()
+        if not math.isfinite(final_storage_v):
+            raise NumericalGuardError(
+                f"storage voltage went non-finite ({final_storage_v!r}) at t={t:.6g} s",
+                signal="v_storage",
+                time=t,
+            )
 
         self.summary.duration += dt
         self.summary.energy_ideal += ideal * dt

@@ -10,9 +10,11 @@ steps.
 
 from __future__ import annotations
 
+import math
+
 from typing import Iterable, Mapping, Optional, Protocol, runtime_checkable
 
-from repro.errors import ModelParameterError, SimulationError
+from repro.errors import ModelParameterError, NumericalGuardError, SimulationError
 from repro.sim.traces import TraceSet
 
 
@@ -77,7 +79,16 @@ class TransientSimulator:
             names = self._resolved_names = tuple(requested)
         record = self.traces.record
         for name in names:
-            record(name, t, float(signals[name]))
+            value = float(signals[name])
+            if not math.isfinite(value):
+                # A NaN/Inf here means an integration blew up; recording
+                # it would quietly poison every downstream statistic.
+                raise NumericalGuardError(
+                    f"signal {name!r} went non-finite ({value!r}) at t={t:.6g} s",
+                    signal=name,
+                    time=t,
+                )
+            record(name, t, value)
 
     def run(self, duration: float) -> TraceSet:
         """Simulate for ``duration`` seconds (continuing from current time).

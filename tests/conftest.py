@@ -6,6 +6,22 @@ from repro.core.config import PlatformConfig
 from repro.pv.cells import am_1815, generic_csi, schott_1116929
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-trace fixtures in tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    """Whether this run should rewrite the golden fixtures."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def am1815():
     """The paper's system-test cell."""

@@ -1,0 +1,117 @@
+"""Golden-trace regression: the 24 h comparison is frozen bit-for-bit.
+
+``tests/golden/comparison_<scenario>.json`` holds the
+:class:`~repro.sim.quasistatic.HarvestSummary` of every technique for
+the canonical 24-hour, dt=60 s comparison.  Any PR that changes these
+numbers — a perf optimisation that was supposed to be equivalence-
+preserving, a refactor that accidentally reorders floating-point
+operations — fails here instead of shipping a silent behaviour change.
+
+JSON float serialisation uses ``repr`` round-tripping, so equality
+below is exact binary equality, not approximate.
+
+To intentionally re-baseline (after a *reviewed* numerical change)::
+
+    pytest tests/integration/test_golden_traces.py --update-golden
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.env.profiles import HOURS
+from repro.experiments.comparison import run_comparison
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+DURATION = 24.0 * HOURS
+DT = 60.0
+SCENARIOS = ("office-desk", "semi-mobile", "outdoor")
+SUMMARY_FIELDS = (
+    "duration",
+    "energy_ideal",
+    "energy_at_cell",
+    "energy_delivered",
+    "energy_overhead",
+    "energy_load",
+    "final_storage_voltage",
+)
+
+
+def golden_path(scenario: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"comparison_{scenario}.json"
+
+
+def summaries_by_scenario():
+    """One full comparison run, pivoted to {scenario: {technique: fields}}."""
+    results = run_comparison(duration=DURATION, dt=DT)
+    pivot = {}
+    for r in results:
+        pivot.setdefault(r.scenario, {})[r.technique] = {
+            field: getattr(r.summary, field) for field in SUMMARY_FIELDS
+        }
+    return pivot
+
+
+def write_golden(pivot) -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for scenario, techniques in pivot.items():
+        payload = {
+            "experiment": "comparison",
+            "scenario": scenario,
+            "duration": DURATION,
+            "dt": DT,
+            "techniques": techniques,
+        }
+        golden_path(scenario).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return summaries_by_scenario()
+
+
+class TestGoldenComparison:
+    def test_all_scenarios_match_golden(self, computed, update_golden):
+        if update_golden:
+            write_golden(computed)
+            pytest.skip("golden fixtures rewritten")
+        for scenario in SCENARIOS:
+            path = golden_path(scenario)
+            assert path.exists(), (
+                f"missing golden fixture {path}; generate with --update-golden"
+            )
+            golden = json.loads(path.read_text())
+            assert golden["duration"] == DURATION and golden["dt"] == DT
+            assert set(golden["techniques"]) == set(computed[scenario]), scenario
+            for technique, fields in golden["techniques"].items():
+                measured = computed[scenario][technique]
+                for field, value in fields.items():
+                    assert measured[field] == value, (
+                        f"{scenario}/{technique}/{field}: "
+                        f"golden {value!r} != measured {measured[field]!r} "
+                        "(bitwise regression — if intentional, re-baseline "
+                        "with --update-golden)"
+                    )
+
+    def test_resilience_clean_campaign_reproduces_golden(self, update_golden):
+        """The resilience harness's no-fault run IS the golden comparison."""
+        from repro.experiments.resilience import run_resilience
+
+        if update_golden:
+            pytest.skip("golden fixtures being rewritten")
+        report = run_resilience(
+            duration=DURATION,
+            dt=DT,
+            campaigns=["clean"],
+            include_recovery=False,
+            include_coldstart=False,
+        )
+        for cell in report.cells:
+            golden = json.loads(golden_path(cell.scenario).read_text())
+            expected = golden["techniques"][cell.technique]
+            for field, value in expected.items():
+                assert getattr(cell.summary, field) == value, (
+                    f"clean campaign diverged from golden at "
+                    f"{cell.scenario}/{cell.technique}/{field}"
+                )

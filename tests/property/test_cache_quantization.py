@@ -1,0 +1,88 @@
+"""CachedPVCell quantization: bounded model error, exact mode bitwise.
+
+The PR 1 solve cache has two keying modes.  Exact keying must be
+invisible — every characteristic point bitwise-identical to the
+uncached cell.  Quantized keying (snap lux/temperature onto a grid
+before solving) trades a *bounded* model error for hit rate; these
+tests pin the bound: with 2-lux / 0.5-K grids over the indoor-outdoor
+envelope, MPP power stays within 2 % of the exact solve (the docstring
+claim is "0.25 % lux bins keep MPP power well inside 0.1 %" — the
+relative error scales with quantum/lux, asserted here too).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pv.cache import CachedPVCell
+from repro.pv.cells import am_1815
+from repro.units import T_STC
+
+LUX_QUANTUM = 2.0
+TEMP_QUANTUM = 0.5
+
+luxes = st.floats(min_value=50.0, max_value=20000.0)
+temperatures = st.floats(min_value=T_STC - 15.0, max_value=T_STC + 40.0)
+
+
+@pytest.fixture(scope="module")
+def exact_cell():
+    return am_1815()
+
+
+class TestExactKeying:
+    @given(lux=luxes, temperature=temperatures)
+    @settings(max_examples=40, deadline=None)
+    def test_bitwise_identical_to_uncached(self, lux, temperature):
+        plain = am_1815()
+        cached = CachedPVCell(am_1815())
+        exact = plain.model_at(lux, temperature=temperature)
+        via_cache = cached.model_at(lux, temperature=temperature)
+        assert via_cache.voc() == exact.voc()
+        assert via_cache.isc() == exact.isc()
+        assert via_cache.mpp().power == exact.mpp().power
+        assert via_cache.mpp().voltage == exact.mpp().voltage
+
+    def test_repeated_condition_returns_same_instance(self):
+        cached = CachedPVCell(am_1815())
+        a = cached.model_at(500.0)
+        b = cached.model_at(500.0)
+        assert a is b
+        assert cached.stats.hits == 1 and cached.stats.misses == 1
+
+
+class TestQuantizedKeying:
+    @given(lux=luxes, temperature=temperatures)
+    @settings(max_examples=40, deadline=None)
+    def test_mpp_power_within_stated_tolerance(self, lux, temperature):
+        plain = am_1815()
+        quantized = CachedPVCell(
+            am_1815(), lux_quantum=LUX_QUANTUM, temperature_quantum=TEMP_QUANTUM
+        )
+        exact_power = plain.model_at(lux, temperature=temperature).mpp().power
+        snapped_power = quantized.model_at(lux, temperature=temperature).mpp().power
+        assert exact_power > 0.0
+        # Lux error is at most quantum/2; power is ~linear in lux, plus a
+        # small thermal-snap contribution — 2 % is a conservative ceiling
+        # at the 50-lux floor and far looser than typical.
+        assert snapped_power == pytest.approx(exact_power, rel=0.02)
+
+    @given(lux=st.floats(min_value=400.0, max_value=20000.0))
+    @settings(max_examples=25, deadline=None)
+    def test_relative_error_scales_with_quantum(self, lux):
+        # MPP power is near-linear in lux, so the power error tracks the
+        # relative lux snap error (at most half a quantum) with only a
+        # little headroom for the logarithmic Voc growth.
+        plain = am_1815()
+        quantized = CachedPVCell(am_1815(), lux_quantum=LUX_QUANTUM)
+        exact_power = plain.model_at(lux).mpp().power
+        snapped_power = quantized.model_at(lux).mpp().power
+        snap_error = (LUX_QUANTUM / 2.0) / lux
+        assert snapped_power == pytest.approx(exact_power, rel=1.5 * snap_error + 1e-9)
+
+    def test_quantized_mode_collapses_nearby_conditions(self):
+        quantized = CachedPVCell(am_1815(), lux_quantum=2.0)
+        a = quantized.model_at(500.3)
+        b = quantized.model_at(500.9)  # same 2-lux bin
+        assert a is b
+        assert quantized.stats.hit_rate > 0.0

@@ -1,9 +1,12 @@
 """The parallel experiment runner: determinism, ordering, degradation."""
 
+import os
+import time
+
 import pytest
 
 from repro.env.profiles import HOURS
-from repro.errors import ModelParameterError
+from repro.errors import ModelParameterError, WorkerCrashError, WorkerTimeoutError
 from repro.experiments.comparison import run_comparison
 from repro.sim.parallel import default_worker_count, parallel_map, scatter
 
@@ -11,6 +14,29 @@ from repro.sim.parallel import default_worker_count, parallel_map, scatter
 def _square(x):
     # Module-level so it survives pickling into pool workers.
     return x * x
+
+
+def _crash_unless_pid(spec):
+    """Kill any process that isn't the one named in the spec.
+
+    ``spec`` is ``(parent_pid, value)``; in a pool worker the pids
+    differ and the hard exit breaks the pool, while the serial retry
+    (same process) returns normally — letting one spec exercise both
+    the crash path and the fallback path.
+    """
+    parent_pid, value = spec
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return value
+
+
+def _sleep_for(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _raise_value_error(x):
+    raise ValueError(f"deterministic failure on {x}")
 
 
 class TestParallelMap:
@@ -43,6 +69,58 @@ class TestParallelMap:
 
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
+
+
+class TestWorkerRecovery:
+    def test_worker_crash_falls_back_to_serial(self):
+        specs = [(os.getpid(), k) for k in range(4)]
+        # The pool workers all hard-exit; the serial retry completes.
+        assert parallel_map(_crash_unless_pid, specs, mode="process", max_workers=2) == [
+            0,
+            1,
+            2,
+            3,
+        ]
+
+    def test_worker_crash_surfaces_when_fallback_disabled(self):
+        specs = [(os.getpid(), k) for k in range(4)]
+        with pytest.raises(WorkerCrashError):
+            parallel_map(
+                _crash_unless_pid,
+                specs,
+                mode="process",
+                max_workers=2,
+                fallback_serial=False,
+            )
+
+    def test_hung_worker_times_out_with_spec_index(self):
+        # The "hung" spec sleeps far longer than the ceiling but briefly
+        # enough that the orphaned worker drains before interpreter exit.
+        with pytest.raises(WorkerTimeoutError) as err:
+            parallel_map(
+                _sleep_for,
+                [0.0, 6.0],
+                mode="process",
+                max_workers=2,
+                timeout=1.5,
+            )
+        assert err.value.spec_index == 1
+        assert err.value.timeout == 1.5
+
+    def test_timeout_unbreached_returns_results(self):
+        out = parallel_map(
+            _sleep_for, [0.0, 0.01], mode="process", max_workers=2, timeout=30.0
+        )
+        assert out == [0.0, 0.01]
+
+    def test_deterministic_exception_propagates_as_itself(self):
+        # fn raising is not a crash: no silent serial retry, no wrapping.
+        with pytest.raises(ValueError, match="deterministic failure"):
+            parallel_map(_raise_value_error, [1, 2], mode="process", max_workers=2)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ModelParameterError):
+            parallel_map(_square, [1, 2], timeout=0.0)
 
 
 class TestScatter:

@@ -1,0 +1,137 @@
+"""The resilience harness: determinism, clean-run equivalence, metrics."""
+
+import pytest
+
+from repro.env.profiles import HOURS
+from repro.errors import FaultConfigError
+from repro.experiments import resilience
+from repro.experiments.comparison import run_comparison
+
+TECHNIQUES = ["ideal-oracle", "proposed-S&H-FOCV", "fixed-voltage"]
+SHORT = dict(
+    duration=1.0 * HOURS,
+    dt=60.0,
+    techniques=TECHNIQUES,
+    scenarios=["outdoor"],
+    include_recovery=False,
+    include_coldstart=False,
+)
+
+
+def _cells_as_dicts(report):
+    return [
+        (c.campaign, c.scenario, c.technique, c.summary.__dict__) for c in report.cells
+    ]
+
+
+class TestFaultCampaigns:
+    def test_builtin_suite_has_enough_distinct_campaigns(self):
+        # The acceptance bar: >= 4 distinct fault schedules plus clean.
+        assert "clean" in resilience.CAMPAIGNS
+        assert len([c for c in resilience.CAMPAIGNS if c != "clean"]) >= 4
+
+    def test_unknown_campaign_rejected(self):
+        with pytest.raises(FaultConfigError):
+            resilience.build_plan("meteor-strike", seed=0, duration=3600.0)
+        with pytest.raises(FaultConfigError):
+            resilience.run_resilience(campaigns=["meteor-strike"], **SHORT)
+
+    def test_plans_are_deterministic_in_seed(self):
+        a = resilience.build_plan("light-dropout", seed=5, duration=86400.0)
+        b = resilience.build_plan("light-dropout", seed=5, duration=86400.0)
+        pa = a.wrap_environment(lambda t: 500.0)
+        pb = b.wrap_environment(lambda t: 500.0)
+        times = [k * 600.0 for k in range(144)]
+        assert [pa(t) for t in times] == [pb(t) for t in times]
+
+
+class TestRunResilience:
+    def test_same_seed_identical_report(self):
+        a = resilience.run_resilience(seed=11, campaigns=["light-dropout"], **SHORT)
+        b = resilience.run_resilience(seed=11, campaigns=["light-dropout"], **SHORT)
+        assert _cells_as_dicts(a) == _cells_as_dicts(b)
+
+    def test_different_seed_different_faults(self):
+        from repro.env.profiles import ConstantProfile
+
+        # Different seeds place the dropout windows differently...
+        pa = resilience.build_plan("light-dropout", 11, 86400.0).wrap_environment(
+            ConstantProfile(500.0)
+        )
+        pb = resilience.build_plan("light-dropout", 12, 86400.0).wrap_environment(
+            ConstantProfile(500.0)
+        )
+        times = [k * 60.0 for k in range(1440)]
+        assert [pa(t) for t in times] != [pb(t) for t in times]
+        # ...while the clean reference run is seed-independent.
+        a = resilience.run_resilience(seed=11, campaigns=["clean"], **SHORT)
+        b = resilience.run_resilience(seed=12, campaigns=["clean"], **SHORT)
+        assert _cells_as_dicts(a) == _cells_as_dicts(b)
+
+    def test_clean_campaign_matches_comparison_bitwise(self):
+        report = resilience.run_resilience(seed=0, campaigns=["clean"], **SHORT)
+        comparison = run_comparison(
+            duration=SHORT["duration"],
+            dt=SHORT["dt"],
+            techniques=TECHNIQUES,
+            scenarios=["outdoor"],
+        )
+        assert len(report.cells) == len(comparison)
+        for mine, ref in zip(report.cells, comparison):
+            assert (mine.technique, mine.scenario) == (ref.technique, ref.scenario)
+            assert mine.summary.__dict__ == ref.summary.__dict__
+
+    def test_clean_always_included_and_first(self):
+        report = resilience.run_resilience(seed=0, campaigns=["light-dropout"], **SHORT)
+        assert report.campaigns[0] == "clean"
+        assert {c.campaign for c in report.cells} == {"clean", "light-dropout"}
+
+    def test_retention_and_energy_lost(self):
+        report = resilience.run_resilience(seed=0, campaigns=["light-dropout"], **SHORT)
+        for technique in TECHNIQUES:
+            clean = report.net_energy("clean", "outdoor", technique)
+            faulted = report.net_energy("light-dropout", "outdoor", technique)
+            lost = report.energy_lost("light-dropout", "outdoor", technique)
+            assert lost == pytest.approx(clean - faulted)
+            if clean > 0.0:
+                retention = report.retention("light-dropout", "outdoor", technique)
+                assert retention == pytest.approx(faulted / clean)
+                assert retention <= 1.001  # dropouts cannot add energy
+
+    def test_unknown_lookup_rejected(self):
+        report = resilience.run_resilience(seed=0, campaigns=["clean"], **SHORT)
+        with pytest.raises(FaultConfigError):
+            report.net_energy("clean", "outdoor", "nonexistent-technique")
+
+    def test_render_covers_all_campaigns(self):
+        report = resilience.run_resilience(
+            seed=0, campaigns=["light-dropout", "converter-brownout"], **SHORT
+        )
+        text = resilience.render(report)
+        for name in ("clean", "light-dropout", "converter-brownout"):
+            assert name in text
+
+
+class TestProbes:
+    def test_recovery_measures_blackout(self):
+        results = resilience.measure_recovery(
+            ["ideal-oracle", "proposed-S&H-FOCV"],
+            dropout_start=600.0,
+            dropout_width=300.0,
+            observe=600.0,
+            dt=5.0,
+        )
+        by_name = {r.technique: r for r in results}
+        oracle = by_name["ideal-oracle"]
+        focv = by_name["proposed-S&H-FOCV"]
+        assert oracle.baseline_power > 0.0
+        # The oracle re-acquires instantly; the S&H holds its sample
+        # through the blackout and is back within one astable period.
+        assert oracle.recovered and oracle.recovery_time == 0.0
+        assert focv.recovered and focv.recovery_time <= 120.0
+
+    def test_coldstart_deterministic_and_marginal(self):
+        a = resilience.coldstart_under_flicker(seed=0, attempts=4)
+        b = resilience.coldstart_under_flicker(seed=0, attempts=4)
+        assert (a.successes, a.mean_start_time) == (b.successes, b.mean_start_time)
+        assert 0.0 <= a.success_rate <= 1.0

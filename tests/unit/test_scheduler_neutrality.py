@@ -45,6 +45,30 @@ class TestSchedulerPolicy:
         assert sched.period_for_voltage(2.2) == pytest.approx(1800.0, rel=0.01)
         assert sched.period_for_voltage(4.0) == pytest.approx(30.0, rel=0.01)
 
+    def test_clamp_absorbs_exp_log_overshoot_at_survival(self):
+        # At voltage == v_survival the interpolation fraction is exactly 0
+        # and the unclamped period is exp(log(1800.0)) == 1800.0000000000005
+        # — ~5e-13 *above* max_period.  The clamp must absorb it: commanded
+        # periods never exceed the application ceiling, bitwise.
+        import math
+
+        sched = self.make()
+        assert math.exp(math.log(sched.max_period)) > sched.max_period  # the hazard
+        assert sched.period_for_voltage(2.2) == sched.max_period
+        # One ulp above survival must still respect the ceiling exactly.
+        eps_up = math.nextafter(2.2, 3.0)
+        assert sched.period_for_voltage(eps_up) <= sched.max_period
+        # And one ulp below comfort must respect the floor exactly.
+        below_comfort = math.nextafter(4.0, 0.0)
+        assert sched.min_period <= sched.period_for_voltage(below_comfort) <= sched.max_period
+
+    def test_nan_voltage_raises_guard(self):
+        from repro.errors import NumericalGuardError
+
+        sched = self.make()
+        with pytest.raises(NumericalGuardError):
+            sched.period_for_voltage(float("nan"))
+
     def test_rejects_bad_thresholds(self):
         with pytest.raises(ModelParameterError):
             EnergyAwareScheduler(
