@@ -7,10 +7,20 @@ engine achieves but well above the original per-step path — so a
 regression that silently disables the condition cache or the batch
 solver fails loudly, and it appends the measurement to the
 ``BENCH_perf.json`` ledger for cross-PR tracking.
+
+``test_obs_overhead`` is the companion gate for the observability
+layer: the same slice with :mod:`repro.obs` enabled must stay within
+10 % of the disabled run (min-of-rounds on both sides to shave timing
+noise), and the enabled measurement lands in the ledger with its
+counters attached so the trajectory records *why* throughput moved.
 """
 
+import time
+
+import repro.obs as obs
 from repro.env.profiles import HOURS
 from repro.experiments import comparison
+from repro.obs import export
 from repro.sim.telemetry import latest, measure, record_perf
 
 # The seed engine managed ~2 100 steps/s on the reference container; the
@@ -46,4 +56,62 @@ def test_perf_smoke(benchmark, save_result):
         "perf_smoke",
         f"perf smoke: {steps} steps in {perf.wall_s:.2f} s "
         f"({perf.steps_per_s:.0f} steps/s; floor {STEPS_PER_S_FLOOR:.0f})",
+    )
+
+
+# Instrumentation budget: enabled-vs-disabled wall time on the smoke
+# slice.  The hooks pattern costs one attribute load + None test per
+# site when disabled and the tracer samples ~16 steps per run when
+# enabled (true cost measured ≈4 %), so 10 % is generous — a regression
+# here means someone put per-step work on the hot path.
+OBS_OVERHEAD_CEILING = 1.10
+_ROUNDS = 4
+
+
+def _one_run(duration: float, dt: float) -> float:
+    t0 = time.perf_counter()
+    comparison.run_comparison(duration=duration, dt=dt)
+    return time.perf_counter() - t0
+
+
+def test_obs_overhead(save_result):
+    duration = 1.0 * HOURS
+    dt = 10.0
+    steps = 9 * 3 * int(duration / dt)
+
+    assert not obs.is_enabled()
+    _one_run(duration, dt)  # warm-up: imports, allocator, branch caches
+
+    # Interleave the two modes and take min-of-rounds on both sides:
+    # back-to-back A/A then B/B measurement folds machine-wide drift
+    # (thermal, frequency scaling) straight into the ratio.
+    disabled_s = enabled_s = float("inf")
+    counters = {}
+    try:
+        for _ in range(_ROUNDS):
+            obs.disable()
+            disabled_s = min(disabled_s, _one_run(duration, dt))
+            obs.reset()
+            obs.enable()
+            enabled_s = min(enabled_s, _one_run(duration, dt))
+            counters = export.counters_dict()
+    finally:
+        obs.disable()
+        obs.reset()
+
+    with measure("perf_smoke_obs_1h_dt10", steps=steps) as perf:
+        pass
+    perf.wall_s = enabled_s
+    record_perf(perf, note="obs enabled (min of rounds)", counters=counters)
+
+    assert counters.get("solver.lambertw_calls", 0) > 0
+    ratio = enabled_s / disabled_s
+    save_result(
+        "obs_overhead",
+        f"obs overhead: enabled {enabled_s:.3f} s vs disabled {disabled_s:.3f} s "
+        f"(x{ratio:.3f}; ceiling x{OBS_OVERHEAD_CEILING:.2f})",
+    )
+    assert ratio <= OBS_OVERHEAD_CEILING, (
+        f"observability overhead too high: enabled/disabled = {ratio:.3f} "
+        f"> {OBS_OVERHEAD_CEILING}"
     )

@@ -14,6 +14,8 @@ Usage::
     python -m repro comparison [--hours 24]   # E8 (slow)
     python -m repro resilience [--seed 0]     # E16 fault-injection (slow)
     python -m repro endurance                 # E12 (slow)
+    python -m repro profile comparison [--hours 1] [--out DIR]
+                                              # E17: any artefact, instrumented
 """
 
 from __future__ import annotations
@@ -130,6 +132,50 @@ def _cmd_teg(args) -> str:
     return teg.render(teg.run_teg_sweep())
 
 
+def _profile_target_argv(args) -> list:
+    """The argv handed to the target subcommand, forwarding shared flags."""
+    argv = [args.experiment]
+    if args.hours is not None and args.experiment in ("comparison", "resilience"):
+        argv += ["--hours", str(args.hours)]
+    if args.lux is not None and args.experiment in ("fig4", "coldstart"):
+        argv += ["--lux", str(args.lux)]
+    if args.boards is not None and args.experiment == "montecarlo":
+        argv += ["--boards", str(args.boards)]
+    return argv
+
+
+def _cmd_profile(args) -> str:
+    """E17 — run any artefact with observability on and export the profile.
+
+    Enables :mod:`repro.obs`, regenerates the requested artefact, then
+    writes three exports next to the benchmark results: a JSON
+    run-report, Prometheus text exposition, and a flamegraph-compatible
+    collapsed-stack dump.
+    """
+    import pathlib
+
+    from repro import obs
+    from repro.obs import export
+
+    target_args = build_parser().parse_args(_profile_target_argv(args))
+    obs.reset()
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    try:
+        with obs.TRACER.trace(f"profile:{args.experiment}"):
+            text = COMMANDS[args.experiment](target_args)
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+    out_dir = pathlib.Path(args.out)
+    paths = export.write_profile(
+        out_dir, f"profile_{args.experiment}", note=f"python -m repro profile {args.experiment}"
+    )
+    saved = "\n".join(f"[saved {kind}: {path}]" for kind, path in sorted(paths.items()))
+    return f"{text}\n\n{export.render_summary()}\n{saved}"
+
+
 COMMANDS: Dict[str, Callable] = {
     "table1": _cmd_table1,
     "fig1": _cmd_fig1,
@@ -170,6 +216,21 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--seed", type=int, default=0)
         if name == "montecarlo":
             p.add_argument("--boards", type=int, default=500)
+    profile = sub.add_parser(
+        "profile",
+        help="regenerate any artefact with observability enabled and export "
+        "JSON / Prometheus / flamegraph profiles",
+    )
+    profile.add_argument("experiment", choices=sorted(COMMANDS))
+    profile.add_argument("--out", default="benchmarks/results",
+                         help="directory for the exported profile files")
+    profile.add_argument("--hours", type=float, default=None,
+                         help="forwarded to comparison/resilience")
+    profile.add_argument("--lux", type=float, default=None,
+                         help="forwarded to fig4/coldstart")
+    profile.add_argument("--boards", type=int, default=None,
+                         help="forwarded to montecarlo")
+    profile.set_defaults(_run=_cmd_profile)
     return parser
 
 
@@ -183,7 +244,8 @@ def main(argv=None) -> int:
             for name in sorted(COMMANDS):
                 print(f"  {name}")
             return 0
-        print(COMMANDS[args.command](args))
+        handler = getattr(args, "_run", None) or COMMANDS[args.command]
+        print(handler(args))
     except BrokenPipeError:
         # Downstream pager/head closed the pipe — not an error.
         try:

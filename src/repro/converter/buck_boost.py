@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.converter.efficiency import ConverterLossModel
 from repro.errors import ModelParameterError
+from repro.obs.metrics import HOOKS as _OBS
 
 
 @dataclass
@@ -67,6 +68,10 @@ class BuckBoostConverter:
         if p_in < 0.0:
             raise ModelParameterError(f"p_in must be >= 0, got {p_in!r}")
         if not self.enabled or p_in == 0.0 or v_in < self.min_input_voltage:
+            if p_in > 0.0:
+                gated = _OBS.converter_gated
+                if gated is not None:
+                    gated.inc()
             return 0.0
         return p_in * self.losses.efficiency(p_in, v_in)
 
@@ -89,13 +94,20 @@ class BuckBoostConverter:
         the averaged equivalent of the prototype's burst regulation.
         """
         if not self.enabled or v_in < self.min_input_voltage:
-            self._running = False
+            self._set_running(False)
             return 0.0
         lower = v_ref - self.hysteresis / 2.0
         fraction = (v_in - lower) / self.hysteresis
         fraction = min(1.0, max(0.0, fraction))
-        self._running = fraction > 0.0
+        self._set_running(fraction > 0.0)
         return self.max_input_current * fraction
+
+    def _set_running(self, running: bool) -> None:
+        if running != self._running:
+            transitions = _OBS.converter_transitions
+            if transitions is not None:
+                transitions.inc()
+        self._running = running
 
     @property
     def running(self) -> bool:

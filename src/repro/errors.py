@@ -59,6 +59,11 @@ class FaultConfigError(ReproError, ValueError):
     """A fault schedule or fault wrapper was configured inconsistently."""
 
 
+class TelemetryPathError(ReproError, RuntimeError):
+    """The perf-telemetry ledger location could not be resolved (no repo
+    root on the module's path and no ``REPRO_BENCH_PATH`` override)."""
+
+
 class ParallelExecutionError(ReproError, RuntimeError):
     """The parallel experiment runner could not complete a batch of specs."""
 

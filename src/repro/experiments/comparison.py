@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.obs.tracing import TRACER
 from repro.baselines import (
     FixedVoltage,
     HillClimbing,
@@ -149,34 +150,35 @@ def _run_scenario(spec: _ScenarioSpec) -> List[ComparisonCell]:
         )
 
     results: List[ComparisonCell] = []
-    for technique_name in spec.techniques:
-        environment = scenario_factory()
-        controller = controller_factories[technique_name]()
-        storage = (
-            Supercapacitor(capacitance=25.0, rated_voltage=5.5, voltage=2.7)
-            if spec.use_storage
-            else None
-        )
-        thermal = (
-            CellThermalModel(area_cm2=cell.parameters.area_cm2)
-            if spec.use_thermal and precomputed is None
-            else None
-        )
-        sim = QuasiStaticSimulator(
-            cell,
-            controller,
-            environment,
-            converter=BuckBoostConverter(),
-            storage=storage,
-            thermal=thermal,
-            supply_voltage=3.0,
-            record=False,
-            precomputed=precomputed,
-        )
-        summary = sim.run(spec.duration, dt=spec.dt)
-        results.append(
-            ComparisonCell(technique=technique_name, scenario=spec.scenario, summary=summary)
-        )
+    with TRACER.span(f"scenario:{spec.scenario}"):
+        for technique_name in spec.techniques:
+            environment = scenario_factory()
+            controller = controller_factories[technique_name]()
+            storage = (
+                Supercapacitor(capacitance=25.0, rated_voltage=5.5, voltage=2.7)
+                if spec.use_storage
+                else None
+            )
+            thermal = (
+                CellThermalModel(area_cm2=cell.parameters.area_cm2)
+                if spec.use_thermal and precomputed is None
+                else None
+            )
+            sim = QuasiStaticSimulator(
+                cell,
+                controller,
+                environment,
+                converter=BuckBoostConverter(),
+                storage=storage,
+                thermal=thermal,
+                supply_voltage=3.0,
+                record=False,
+                precomputed=precomputed,
+            )
+            summary = sim.run(spec.duration, dt=spec.dt)
+            results.append(
+                ComparisonCell(technique=technique_name, scenario=spec.scenario, summary=summary)
+            )
     return results
 
 
@@ -232,10 +234,11 @@ def run_comparison(
         )
         for scenario_name in selected_scenarios
     ]
-    if parallel:
-        batches = parallel_map(_run_scenario, specs, max_workers=max_workers)
-    else:
-        batches = [_run_scenario(spec) for spec in specs]
+    with TRACER.trace("comparison"):
+        if parallel:
+            batches = parallel_map(_run_scenario, specs, max_workers=max_workers)
+        else:
+            batches = [_run_scenario(spec) for spec in specs]
 
     results: List[ComparisonCell] = []
     for batch in batches:

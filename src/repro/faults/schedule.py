@@ -27,6 +27,7 @@ from typing import Iterable, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import FaultConfigError
+from repro.obs.metrics import HOOKS as _OBS
 
 
 @dataclass(frozen=True)
@@ -151,7 +152,12 @@ class FaultSchedule:
     def active(self, t: float) -> bool:
         """Whether any fault window covers time ``t``."""
         index = bisect.bisect_right(self._starts, t) - 1
-        return index >= 0 and self.windows[index].contains(t)
+        is_active = index >= 0 and self.windows[index].contains(t)
+        if is_active:
+            h = _OBS.fault_activations
+            if h is not None:
+                h.inc()
+        return is_active
 
     def window_at(self, t: float) -> FaultWindow | None:
         """The window covering ``t``, or None."""

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.errors import ModelParameterError, NumericalGuardError
 from repro.node.sensor_node import SensorNode
+from repro.obs.metrics import HOOKS as _OBS
 
 
 @dataclass
@@ -91,7 +92,13 @@ class EnergyAwareScheduler:
         log_period = math.log(self.max_period) + fraction * (
             math.log(self.min_period) - math.log(self.max_period)
         )
-        return min(self.max_period, max(self.min_period, math.exp(log_period)))
+        period = math.exp(log_period)
+        if period < self.min_period or period > self.max_period:
+            clamps = _OBS.scheduler_clamps
+            if clamps is not None:
+                clamps.inc()
+            period = min(self.max_period, max(self.min_period, period))
+        return period
 
     # --- observables --------------------------------------------------------------
 

@@ -1,0 +1,106 @@
+"""``repro.obs`` — zero-overhead-when-disabled observability.
+
+The engine's counters/span infrastructure: a process-wide metrics
+registry (:mod:`repro.obs.metrics`), a hierarchical aggregating span
+tracer (:mod:`repro.obs.tracing`), and exporters for JSON run-reports,
+Prometheus text, and flamegraph collapsed stacks
+(:mod:`repro.obs.export`).
+
+The subsystem is **off by default** and bitwise-neutral: with it
+disabled, every instrumented hot path costs one attribute load and an
+``is None`` test (golden traces are unchanged, the perf smoke gate
+stays within its budget).  Enable it around a run you want to see
+inside::
+
+    from repro import obs
+
+    obs.enable()
+    run_comparison(duration=HOURS, dt=10.0)
+    obs.disable()
+
+    from repro.obs import export
+    print(export.render_summary())
+    export.write_profile("results", "profile_comparison")
+
+or use the CLI wrapper: ``python -m repro profile comparison``.
+
+``enable``/``disable`` only wire/unwire the instrumentation; collected
+state survives ``disable`` (so exporters can read it) and is cleared
+with :func:`reset`.  ``REPRO_OBS=1`` in the environment enables the
+subsystem at import time — handy for profiling a run without touching
+its code.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.obs import export, metrics, tracing
+from repro.obs.metrics import HOOKS, REGISTRY, MetricsRegistry
+from repro.obs.tracing import TRACER, Tracer
+
+_enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether instrumentation is currently wired in."""
+    return _enabled
+
+
+def enable() -> None:
+    """Wire the hot-path hooks and the tracer in (idempotent)."""
+    global _enabled
+    metrics.install_hooks(REGISTRY)
+    TRACER.enabled = True
+    _enabled = True
+
+
+def disable() -> None:
+    """Unwire all instrumentation; collected state is kept (idempotent)."""
+    global _enabled
+    metrics.uninstall_hooks()
+    TRACER.enabled = False
+    _enabled = False
+
+
+def reset() -> None:
+    """Clear all collected metrics and traces (keeps the enabled state)."""
+    REGISTRY.reset()
+    TRACER.reset()
+    if _enabled:
+        # Hook slots point at instruments the reset just dropped.
+        metrics.install_hooks(REGISTRY)
+
+
+@contextmanager
+def enabled():
+    """Context manager: observability on inside the block, restored after."""
+    was = _enabled
+    enable()
+    try:
+        yield
+    finally:
+        if not was:
+            disable()
+
+
+if os.environ.get("REPRO_OBS", "").strip() in ("1", "true", "yes", "on"):
+    enable()
+
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "is_enabled",
+    "reset",
+    "metrics",
+    "tracing",
+    "export",
+    "REGISTRY",
+    "TRACER",
+    "HOOKS",
+    "MetricsRegistry",
+    "Tracer",
+]

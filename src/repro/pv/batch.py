@@ -31,6 +31,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import HOOKS as _OBS
 from repro.pv.irradiance import FLUORESCENT, LightSource
 from repro.pv.single_diode import MPPResult, SingleDiodeModel, lambertw_of_exp
 from repro.units import T_STC
@@ -274,6 +275,13 @@ def solve_models(
     if not models:
         empty = np.empty(0)
         return BatchSolveResult(voc=empty, isc=empty, v_mpp=empty, i_mpp=empty, p_mpp=empty)
+
+    solves = _OBS.batch_solves
+    if solves is not None:
+        solves.inc()
+        conditions = _OBS.batch_conditions
+        if conditions is not None:
+            conditions.inc(len(models))
 
     p = _stack_params(models)
     voc = _batch_voc(p)

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Hashable, Optional
 
 from repro.errors import ModelParameterError
+from repro.obs.metrics import HOOKS as _OBS
 from repro.pv.cells import PVCell
 from repro.pv.irradiance import FLUORESCENT, LightSource
 from repro.pv.single_diode import MPPResult, SingleDiodeModel
@@ -102,8 +103,14 @@ class SolveCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            h = _OBS.cache_misses
+            if h is not None:
+                h.inc()
             return None
         self.stats.hits += 1
+        h = _OBS.cache_hits
+        if h is not None:
+            h.inc()
         self._entries.move_to_end(key)
         return entry
 
@@ -116,6 +123,9 @@ class SolveCache:
         if len(self._entries) >= self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            h = _OBS.cache_evictions
+            if h is not None:
+                h.inc()
         self._entries[key] = value
 
     def clear(self) -> None:
@@ -173,6 +183,12 @@ class CachedPVCell(PVCell):
     ) -> SingleDiodeModel:
         """Cached single-diode model for the (possibly snapped) condition."""
         lux_k, temp_k = self._condition(lux, source, temperature)
+        if (self.lux_quantum > 0.0 or self.temperature_quantum > 0.0) and (
+            lux_k != lux or temp_k != temperature
+        ):
+            h = _OBS.cache_quantized
+            if h is not None:
+                h.inc()
         key = (lux_k, temp_k, source.name)
         model = self.cache.get(key)
         if model is None:

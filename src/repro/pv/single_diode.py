@@ -26,6 +26,7 @@ import numpy as np
 from scipy.special import lambertw
 
 from repro.errors import ConvergenceError, ModelParameterError, OperatingPointError
+from repro.obs.metrics import HOOKS as _OBS
 from repro.units import thermal_voltage, T_STC
 
 ArrayLike = Union[float, np.ndarray]
@@ -42,14 +43,20 @@ def _lambertw_of_exp_scalar(x: float) -> float:
     per 24-hour run; going through ``np.asarray``/``atleast_1d``/boolean
     masks costs more than the solve itself, so scalars take this path.
     """
+    calls = _OBS.lambertw_calls
+    if calls is not None:
+        calls.inc()
     if x <= _LAMBERTW_DIRECT_MAX_LOG:
         return lambertw(math.exp(x)).real
     w = x - math.log(x)
-    for _ in range(24):
+    for iteration in range(24):
         f = w + math.log(w) - x
         dw = -f / (1.0 + 1.0 / w)
         w = w + dw
         if abs(dw) <= 1e-14 * max(abs(w), 1.0):
+            iters = _OBS.lambertw_newton_iters
+            if iters is not None:
+                iters.inc(iteration + 1)
             return w
     raise ConvergenceError("lambertw_of_exp Newton iteration did not converge", iterations=24)
 
@@ -69,6 +76,9 @@ def lambertw_of_exp(log_theta: ArrayLike) -> ArrayLike:
     scalar = x.ndim == 0
     x = np.atleast_1d(x)
     out = np.empty_like(x)
+    calls = _OBS.lambertw_calls
+    if calls is not None:
+        calls.inc(x.size)
 
     small = x <= _LAMBERTW_DIRECT_MAX_LOG
     if np.any(small):
@@ -80,7 +90,7 @@ def lambertw_of_exp(log_theta: ArrayLike) -> ArrayLike:
         xb = x[big]
         # Solve w + ln(w) = x.  Seed with the two-term asymptotic series.
         w = xb - np.log(xb)
-        for _ in range(24):
+        for iteration in range(24):
             f = w + np.log(w) - xb
             dw = -f / (1.0 + 1.0 / w)
             w = w + dw
@@ -89,6 +99,9 @@ def lambertw_of_exp(log_theta: ArrayLike) -> ArrayLike:
         else:
             raise ConvergenceError("lambertw_of_exp Newton iteration did not converge", iterations=24)
         out[big] = w
+        iters = _OBS.lambertw_newton_iters
+        if iters is not None:
+            iters.inc((iteration + 1) * xb.size)
 
     return float(out[0]) if scalar else out
 
@@ -393,6 +406,9 @@ class SingleDiodeModel:
         return self._mpp_solve(tolerance)
 
     def _mpp_solve(self, tolerance: float) -> MPPResult:
+        solves = _OBS.mpp_solves
+        if solves is not None:
+            solves.inc()
         voc = self.voc()
         if voc <= 0.0 or self.photocurrent <= 0.0:
             return MPPResult(voltage=0.0, current=0.0, power=0.0, voc=max(voc, 0.0), isc=self.isc())
@@ -403,9 +419,11 @@ class SingleDiodeModel:
         x2 = lo + inv_phi * (hi - lo)
         p1 = float(self.power_at(x1))
         p2 = float(self.power_at(x2))
+        iterations = 0
         for _ in range(200):
             if hi - lo <= tolerance * max(voc, 1.0):
                 break
+            iterations += 1
             if p1 < p2:
                 lo, x1, p1 = x1, x2, p2
                 x2 = lo + inv_phi * (hi - lo)
@@ -414,6 +432,9 @@ class SingleDiodeModel:
                 hi, x2, p2 = x2, x1, p1
                 x1 = hi - inv_phi * (hi - lo)
                 p1 = float(self.power_at(x1))
+        iters = _OBS.mpp_iters
+        if iters is not None:
+            iters.inc(iterations)
         v_mpp = 0.5 * (lo + hi)
         i_mpp = float(self.current_at(v_mpp))
         return MPPResult(

@@ -37,10 +37,65 @@ from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeou
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+import repro.obs as obs
 from repro.errors import ModelParameterError, WorkerCrashError, WorkerTimeoutError
+from repro.obs.metrics import diff_snapshots
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class _ObsPayload:
+    """What an instrumented worker ships back: result + instrument delta + spans."""
+
+    __slots__ = ("result", "metrics", "trace")
+
+    def __init__(self, result, metrics: dict, trace: dict):
+        self.result = result
+        self.metrics = metrics
+        self.trace = trace
+
+
+class _ObsTask:
+    """Wraps the worker ``fn`` when observability is enabled in the parent.
+
+    The worker enables observability for itself, snapshots the registry
+    before the spec, records spans into a detached buffer, and returns
+    the *delta* — correct under ``fork`` start methods, where the child
+    inherits the parent's pre-fork counts.  The parent merges each
+    payload exactly once after the whole pool batch succeeds; the
+    serial-retry fallback runs the raw ``fn`` in-process (its increments
+    land on the live registry directly), so no path counts twice.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, spec):
+        import time
+
+        obs.enable()
+        before = obs.REGISTRY.snapshot()
+        t0 = time.perf_counter()
+        with obs.TRACER.capture() as branch:
+            result = self.fn(spec)
+        obs.REGISTRY.histogram(
+            "parallel.spec_seconds", "per-spec worker wall time"
+        ).observe(time.perf_counter() - t0)
+        delta = diff_snapshots(before, obs.REGISTRY.snapshot())
+        return _ObsPayload(result, delta, branch.to_dict())
+
+
+def _merge_payloads(payloads: "List[_ObsPayload]") -> list:
+    """Fold worker deltas/spans into the parent's registry and trace."""
+    results = []
+    for payload in payloads:
+        obs.REGISTRY.merge(payload.metrics)
+        obs.TRACER.merge_subtree(payload.trace, under="parallel_map")
+        results.append(payload.result)
+    return results
 
 
 def default_worker_count() -> int:
@@ -135,19 +190,29 @@ def parallel_map(
     if not use_pool:
         return _run_serial(fn, specs)
 
+    # With observability enabled, workers run wrapped: each returns its
+    # metric delta and span subtree alongside the result, merged below
+    # only when the whole batch succeeds.
+    instrumented = obs.is_enabled()
+    task = _ObsTask(fn) if instrumented else fn
     try:
-        return _run_pool(fn, specs, workers, chunksize, timeout)
+        raw = _run_pool(task, specs, workers, chunksize, timeout)
     except (BrokenProcessPool, OSError, PermissionError) as exc:
         # Worker death or no pool primitives in this environment.  Specs
         # are deterministic, so an inline retry is exact — a genuinely
         # crashing fn will crash the interpreter here too, which is the
-        # honest outcome.
+        # honest outcome.  The retry uses the raw fn: its instruments
+        # land on the live registry directly, and no partial pool
+        # payloads were merged, so nothing is counted twice.
         if not fallback_serial:
             raise WorkerCrashError(
                 f"process pool failed ({type(exc).__name__}: {exc}) "
                 "and fallback_serial is disabled"
             ) from exc
         return _run_serial(fn, specs)
+    if instrumented:
+        return _merge_payloads(raw)
+    return raw
 
 
 def scatter(items: Sequence[T], parts: int) -> List[Sequence[T]]:

@@ -24,7 +24,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+import time
+
 from repro.errors import ModelParameterError
+from repro.obs.tracing import TRACER
 from repro.pv.batch import solve_models
 from repro.pv.cells import PVCell
 from repro.pv.irradiance import FLUORESCENT, LightSource
@@ -96,6 +99,7 @@ def precompute_conditions(
     """
     if dt <= 0.0:
         raise ModelParameterError(f"dt must be positive, got {dt!r}")
+    t_start = time.perf_counter()
     steps = int(round(duration / dt))
 
     times = np.empty(steps)
@@ -125,6 +129,8 @@ def precompute_conditions(
     if solve and index:
         solve_models(list(index.values()), memoize=True)
 
+    # One pre-timed span per scenario precompute; no-op while disabled.
+    TRACER.add("precompute", time.perf_counter() - t_start)
     return PrecomputedConditions(
         dt=dt,
         times=times,

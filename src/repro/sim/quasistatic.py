@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, runtime_checkable
 
+import repro.obs as obs
 from repro.errors import ModelParameterError, NumericalGuardError
 from repro.pv.cache import CachedPVCell
 from repro.pv.cells import PVCell
@@ -265,8 +266,15 @@ class QuasiStaticSimulator:
         key = (round(math.log(model.photocurrent) * 400.0), round(model.temperature * 2.0))
         cached = self._mpp_cache.get(key)
         if cached is None:
+            h = obs.HOOKS.cache_misses
+            if h is not None:
+                h.inc()
             cached = model.mpp().power
             self._mpp_cache[key] = cached
+        else:
+            h = obs.HOOKS.cache_hits
+            if h is not None:
+                h.inc()
         return cached
 
     def step(self, dt: float) -> StepResult:
@@ -393,8 +401,64 @@ class QuasiStaticSimulator:
         )
 
     def run(self, duration: float, dt: float = 1.0) -> HarvestSummary:
-        """Run for ``duration`` seconds in steps of ``dt``; returns the summary."""
+        """Run for ``duration`` seconds in steps of ``dt``; returns the summary.
+
+        With observability enabled (:func:`repro.obs.enable`) the run is
+        wrapped in a ``technique:<name>`` span, step timing is sampled
+        into ``step`` child spans and the ``sim.step_seconds`` histogram,
+        and per-technique step/energy counters are flushed at the end.
+        The disabled path is byte-for-byte the original loop.
+        """
         steps = int(round(duration / dt))
-        for _ in range(steps):
-            self.step(dt)
+        if not obs.is_enabled():
+            for _ in range(steps):
+                self.step(dt)
+            return self.summary
+        return self._run_instrumented(steps, dt)
+
+    def _run_instrumented(self, steps: int, dt: float) -> HarvestSummary:
+        """The observed run loop: identical numerics, sampled span timing.
+
+        Counters are accumulated locally and flushed to the registry
+        once per run, so the enabled overhead stays within the perf
+        gate's 10 % budget even at ~100 k steps/s.
+        """
+        from time import perf_counter
+
+        name = getattr(self.controller, "name", type(self.controller).__name__)
+        registry = obs.REGISTRY
+        tracer = obs.TRACER
+        delivered_before = self.summary.energy_delivered
+        overhead_before = self.summary.energy_overhead
+        step_hist = registry.histogram(
+            "sim.step_seconds", "sampled quasi-static step wall time"
+        )
+        # ~16 timed steps per run keeps the timing shape without paying
+        # two clock reads on every step (an equality test per step is
+        # all the untimed majority spends on sampling).
+        sample_every = max(1, steps // 16)
+        next_sample = 0
+        with tracer.span(f"technique:{name}"):
+            for i in range(steps):
+                if i == next_sample:
+                    next_sample += sample_every
+                    t0 = perf_counter()
+                    self.step(dt)
+                    elapsed = perf_counter() - t0
+                    tracer.add("step", elapsed)
+                    step_hist.observe(elapsed)
+                else:
+                    self.step(dt)
+        labels = {"technique": name}
+        registry.counter("sim.steps", "quasi-static steps simulated", labels).inc(steps)
+        delivered = self.summary.energy_delivered - delivered_before
+        overhead = self.summary.energy_overhead - overhead_before
+        if delivered > 0.0:
+            registry.counter(
+                "sim.energy_delivered_j", "post-converter energy into storage", labels
+            ).inc(delivered)
+        if overhead > 0.0:
+            registry.counter(
+                "sim.energy_overhead_j", "controller supply energy", labels
+            ).inc(overhead)
         return self.summary

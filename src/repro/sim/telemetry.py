@@ -39,28 +39,42 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Iterator, Optional
 
-from repro.errors import ModelParameterError
+from repro.errors import ModelParameterError, TelemetryPathError
 
 BENCH_FILENAME = "BENCH_perf.json"
 _ENV_OVERRIDE = "REPRO_BENCH_PATH"
+
+_MODULE_PATH = Path(__file__).resolve()
+"""Anchor for the repo-root walk (separate constant so tests can point it
+at a rootless location and assert the installed-copy error)."""
 
 
 def bench_path() -> Path:
     """Resolve the ledger path.
 
     ``REPRO_BENCH_PATH`` wins if set; otherwise the repository root is
-    located by walking up from this file (the checkout layout puts this
-    module at ``src/repro/sim/``), falling back to the current
-    directory for installed copies.
+    located by walking up from this module (the checkout layout puts it
+    at ``src/repro/sim/``).
+
+    Raises:
+        TelemetryPathError: when no ancestor carries a
+            ``pyproject.toml`` — i.e. the package runs from an installed
+            copy with no checkout to anchor the ledger.  Silently
+            writing to the current working directory (the old fallback)
+            scattered ``BENCH_perf.json`` files wherever the process
+            happened to start; an explicit override is required instead.
     """
     override = os.environ.get(_ENV_OVERRIDE)
     if override:
         return Path(override)
-    here = Path(__file__).resolve()
-    for parent in here.parents:
+    for parent in _MODULE_PATH.parents:
         if (parent / "pyproject.toml").exists():
             return parent / BENCH_FILENAME
-    return Path.cwd() / BENCH_FILENAME
+    raise TelemetryPathError(
+        "cannot locate the repository root for the perf ledger: no ancestor "
+        f"of {str(_MODULE_PATH)!r} contains pyproject.toml (installed copy?). "
+        f"Set {_ENV_OVERRIDE} to an explicit ledger path."
+    )
 
 
 @dataclass
@@ -115,6 +129,7 @@ def record_perf(
     note: str = "",
     path: Optional[Path] = None,
     keep_last: int = 50,
+    counters: Optional[dict] = None,
 ) -> dict:
     """Append ``sample`` to the ledger and write it back.
 
@@ -123,6 +138,10 @@ def record_perf(
         note: free-form context ("seed", "precompute+batch", ...).
         path: ledger location (default: :func:`bench_path`).
         keep_last: history bound per experiment.
+        counters: optional ``{instrument: value}`` observability
+            counters recorded alongside the throughput figure (see
+            :func:`repro.obs.export.counters_dict`) — cache hit rates
+            and solver call counts explain *why* ``steps_per_s`` moved.
 
     Returns:
         The entry that was appended.
@@ -136,6 +155,8 @@ def record_perf(
         "note": note,
         "recorded": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
+    if counters:
+        entry["counters"] = {str(k): v for k, v in sorted(counters.items())}
     history = ledger["experiments"].setdefault(sample.experiment, [])
     history.append(entry)
     del history[:-keep_last]

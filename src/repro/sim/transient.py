@@ -14,6 +14,7 @@ import math
 
 from typing import Iterable, Mapping, Optional, Protocol, runtime_checkable
 
+import repro.obs as obs
 from repro.errors import ModelParameterError, NumericalGuardError, SimulationError
 from repro.sim.traces import TraceSet
 
@@ -99,6 +100,19 @@ class TransientSimulator:
         if duration < 0.0:
             raise ModelParameterError(f"duration must be >= 0, got {duration!r}")
         steps = int(round(duration / self.dt))
+        if not obs.is_enabled():
+            return self._run_steps(steps)
+        system_name = type(self.system).__name__
+        with obs.TRACER.span(f"transient:{system_name}"):
+            traces = self._run_steps(steps)
+        obs.REGISTRY.counter(
+            "sim.transient_steps",
+            "fixed-timestep transient integration steps",
+            {"system": system_name},
+        ).inc(steps)
+        return traces
+
+    def _run_steps(self, steps: int) -> TraceSet:
         if self._step_count == 0:
             self._record(self.time)
         for _ in range(steps):

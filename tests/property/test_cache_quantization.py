@@ -62,10 +62,12 @@ class TestQuantizedKeying:
         exact_power = plain.model_at(lux, temperature=temperature).mpp().power
         snapped_power = quantized.model_at(lux, temperature=temperature).mpp().power
         assert exact_power > 0.0
-        # Lux error is at most quantum/2; power is ~linear in lux, plus a
-        # small thermal-snap contribution — 2 % is a conservative ceiling
-        # at the 50-lux floor and far looser than typical.
-        assert snapped_power == pytest.approx(exact_power, rel=0.02)
+        # Lux snap error is at most quantum/2 = 2 % of the 50-lux floor,
+        # but power is slightly *super*linear in lux (the log-term in
+        # Voc), so the worst case lands just above 2 % (lux=51 snaps to
+        # 52 -> 2.05 %).  2.5 % bounds that with margin while staying
+        # far tighter than typical examples.
+        assert snapped_power == pytest.approx(exact_power, rel=0.025)
 
     @given(lux=st.floats(min_value=400.0, max_value=20000.0))
     @settings(max_examples=25, deadline=None)
