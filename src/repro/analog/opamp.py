@@ -118,3 +118,17 @@ class UnityGainBuffer:
     def bias_current(self) -> float:
         """Input bias current, amps — the hold-cap discharge term."""
         return self.spec.input_bias_current if self.alive else 0.0
+
+    # --- checkpoint protocol -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the buffer's mutable state (the output voltage)."""
+        return {"output": self._output}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        if "output" not in state:
+            from repro.errors import StateFormatError
+
+            raise StateFormatError("UnityGainBuffer state missing 'output'")
+        self._output = state["output"]

@@ -102,6 +102,18 @@ class AnalogSwitch:
         """Off-state channel leakage, amps (0 when closed — it's a short)."""
         return 0.0 if self._closed else self.spec.off_leakage
 
+    def state_dict(self) -> dict:
+        """Snapshot the switch's mutable state (checkpoint protocol)."""
+        return {"closed": self._closed}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        if "closed" not in state:
+            from repro.errors import StateFormatError
+
+            raise StateFormatError("AnalogSwitch state missing 'closed'")
+        self._closed = bool(state["closed"])
+
     def supply_current(self) -> float:
         """Control-logic supply current, amps."""
         return self.spec.quiescent_current

@@ -175,6 +175,8 @@ def run_sample_hold_montecarlo(
     tolerances: ToleranceSpec = ToleranceSpec(),
     seed: int = 20110314,
     workers: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> MonteCarloResult:
     """Sample ``boards`` S&H builds and measure each one's ratio.
 
@@ -202,6 +204,12 @@ def run_sample_hold_montecarlo(
         seed: RNG seed.
         workers: process-pool size for the board evaluations (None or 1:
             serial; the result is the same either way).
+        checkpoint_path: where to write crash-recovery checkpoints; the
+            population is split into chunks and the checkpoint is
+            rewritten (atomically) as each wave of chunks completes.
+        resume_from: checkpoint to resume; completed chunks are reused
+            (each board is a pure function of its pre-drawn normals, so
+            the population is identical to an uninterrupted run).
     """
     if boards < 1:
         raise ModelParameterError(f"boards must be >= 1, got {boards!r}")
@@ -215,6 +223,12 @@ def run_sample_hold_montecarlo(
 
     draws = rng.standard_normal((boards, 6))
     parts = workers if workers is not None else 1
+    checkpointing = checkpoint_path is not None or resume_from is not None
+    # Finer chunking when checkpointing, so a crash loses at most one
+    # wave of boards; each board depends only on its own draw row, so
+    # the chunk count never changes the population.
+    n_chunks = parts if not checkpointing else max(parts, min(boards, 16))
+    chunks_in = scatter(draws, n_chunks)
     batches = [
         _BoardBatch(
             draws=chunk,
@@ -225,9 +239,64 @@ def run_sample_hold_montecarlo(
             pulse_width=pulse_width,
             tolerances=tolerances,
         )
-        for chunk in scatter(draws, parts)
+        for chunk in chunks_in
     ]
-    chunks = parallel_map(_evaluate_boards, batches, max_workers=max(1, parts))
+
+    if not checkpointing:
+        chunks = parallel_map(_evaluate_boards, batches, max_workers=max(1, parts))
+    else:
+        from dataclasses import asdict
+
+        from repro.ckpt.checkpoint import (
+            check_spec_match,
+            load_checkpoint,
+            save_checkpoint,
+        )
+
+        run_spec = {
+            "experiment": "sample-hold-montecarlo",
+            "boards": boards,
+            "cell": getattr(cell, "name", type(cell).__name__),
+            "lux": lux,
+            "nominal_ratio": nominal_ratio,
+            "total_resistance": total_resistance,
+            "alpha": alpha,
+            "pulse_width": pulse_width,
+            "tolerances": asdict(tolerances),
+            "seed": seed,
+            "chunks": len(batches),
+        }
+        done: dict = {}
+        if resume_from is not None:
+            envelope = load_checkpoint(resume_from, kind="montecarlo")
+            check_spec_match(envelope, run_spec, resume_from)
+            done = {
+                int(index): np.asarray(values)
+                for index, values in envelope["state"]["chunks"].items()
+            }
+        pending = [i for i in range(len(batches)) if i not in done]
+        wave = max(1, parts)
+        for start in range(0, len(pending), wave):
+            indices = pending[start : start + wave]
+            fresh = parallel_map(
+                _evaluate_boards, [batches[i] for i in indices], max_workers=wave
+            )
+            done.update(zip(indices, fresh))
+            if checkpoint_path is not None:
+                save_checkpoint(
+                    checkpoint_path,
+                    kind="montecarlo",
+                    state={
+                        "chunks": {
+                            str(index): [float(v) for v in values]
+                            for index, values in done.items()
+                        }
+                    },
+                    spec=run_spec,
+                    meta={"chunks_done": len(done), "chunks_total": len(batches)},
+                )
+        chunks = [done[i] for i in range(len(batches))]
+
     ratios = np.concatenate(chunks) if chunks else np.empty(0)
 
     return MonteCarloResult(

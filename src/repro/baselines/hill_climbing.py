@@ -55,6 +55,20 @@ class HillClimbing:
                 f"initial_fraction must be in (0, 1), got {self.initial_fraction!r}"
             )
 
+    _STATE_FIELDS = ("_v_op", "_prev_power", "_direction", "_next_update")
+
+    def state_dict(self) -> dict:
+        """Snapshot the climb state (checkpoint protocol)."""
+        from repro.ckpt.state import capture_fields
+
+        return capture_fields(self, self._STATE_FIELDS)
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+
+        restore_fields(self, state, self._STATE_FIELDS)
+
     def average_overhead_current(self) -> float:
         """Duty-cycled MCU current, amps."""
         duty = min(1.0, self.mcu_active_time / self.update_period)

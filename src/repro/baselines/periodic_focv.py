@@ -47,6 +47,20 @@ class PeriodicFOCV:
         if self.overhead_power < 0.0:
             raise ModelParameterError(f"overhead_power must be >= 0, got {self.overhead_power!r}")
 
+    _STATE_FIELDS = ("_held_voc", "_next_sample")
+
+    def state_dict(self) -> dict:
+        """Snapshot the sampling state (checkpoint protocol)."""
+        from repro.ckpt.state import capture_fields
+
+        return capture_fields(self, self._STATE_FIELDS)
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+
+        restore_fields(self, state, self._STATE_FIELDS)
+
     @property
     def disconnection_duty(self) -> float:
         """Fraction of time the module is disconnected for sampling."""

@@ -47,6 +47,18 @@ class PhotodiodeReference:
                 f"calibration_lux must be positive, got {self.calibration_lux!r}"
             )
 
+    def state_dict(self) -> dict:
+        """Snapshot the calibration state (checkpoint protocol)."""
+        from repro.ckpt.state import capture_fields
+
+        return capture_fields(self, ("_cal_vmpp",))
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+
+        restore_fields(self, state, ("_cal_vmpp",))
+
     def decide(self, obs: Observation) -> ControlDecision:
         """Map measured lux onto a Vmpp estimate; track it continuously."""
         if obs.supply_voltage < self.min_supply:

@@ -1,0 +1,61 @@
+"""``repro.ckpt`` — crash-safe experiments.
+
+Three layers, used together by the long-running experiments:
+
+* :mod:`repro.ckpt.atomic` — atomic artifact writes
+  (write-temp → fsync → rename) and advisory file locking, so crashes
+  never tear an artifact and concurrent runs never drop each other's
+  ledger entries.
+* :mod:`repro.ckpt.state` — the ``state_dict()/load_state()``
+  protocol engines, controllers, storage, schedulers and fault
+  wrappers implement, plus RNG-position serialization.
+* :mod:`repro.ckpt.checkpoint` — the versioned JSON checkpoint
+  envelope experiments save with ``checkpoint_every=`` and resume with
+  ``python -m repro <experiment> --resume <ckpt>``.
+
+The hard guarantee (gated by ``tests/integration/test_crash_resume.py``
+and the CI crash/resume smoke job): an interrupted-then-resumed run
+produces a **bitwise-identical** summary to an uninterrupted one.
+"""
+
+from repro.ckpt.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    file_lock,
+    locked_update_json,
+)
+from repro.ckpt.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    check_spec_match,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.ckpt.state import (
+    Stateful,
+    capture_fields,
+    child_state,
+    load_child_state,
+    load_rng_state,
+    restore_fields,
+    rng_state_dict,
+)
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "file_lock",
+    "locked_update_json",
+    "CHECKPOINT_SCHEMA",
+    "save_checkpoint",
+    "load_checkpoint",
+    "check_spec_match",
+    "Stateful",
+    "capture_fields",
+    "restore_fields",
+    "child_state",
+    "load_child_state",
+    "rng_state_dict",
+    "load_rng_state",
+]

@@ -1,0 +1,207 @@
+"""Atomic artifact I/O: write-temp → fsync → rename, plus advisory locks.
+
+Every durable artifact this repo produces — the ``BENCH_perf.json``
+perf ledger, golden traces, profile exports, experiment checkpoints —
+used to be written with a bare ``open(path, "w")``.  A crash (or a
+SIGKILL from the parallel runner's watchdog) mid-write leaves a
+truncated file, and two concurrent runs doing read-modify-write on the
+same ledger silently drop each other's entries.  This module fixes both
+failure modes:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` /
+  :func:`atomic_write_json` — write to a same-directory temp file,
+  ``fsync`` it, then ``os.replace`` onto the destination.  POSIX rename
+  is atomic, so readers see either the old complete file or the new
+  complete file, never a torn one.
+* :func:`file_lock` — an advisory ``flock`` on a sidecar ``.lock``
+  file, with a bounded spin so a dead holder cannot wedge callers
+  forever (``flock`` locks die with their process, so the timeout only
+  fires on genuine long holders).
+* :func:`locked_update_json` — the read-modify-write pattern done
+  right: lock, read, update, atomic-replace, unlock.  This is what
+  :func:`repro.sim.telemetry.record_perf` appends through.
+
+Locking degrades gracefully where ``fcntl`` is unavailable (non-POSIX):
+the lock becomes a no-op and the atomic rename still guarantees
+untorn files — only cross-process read-modify-write atomicity is lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional, Union
+
+from repro.errors import LockTimeoutError
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes, fsync: bool = True) -> Path:
+    """Atomically replace ``path`` with ``data``.
+
+    The temp file lives in the destination directory (``os.replace``
+    must not cross filesystems) and is cleaned up on any failure, so a
+    crash never leaves a partial artifact at ``path``.
+
+    Args:
+        path: destination file.
+        data: the full new contents.
+        fsync: flush the temp file to disk before the rename; disable
+            only for throwaway artifacts where torn-on-power-loss is
+            acceptable (the rename itself is still atomic).
+
+    Returns:
+        The destination as a :class:`~pathlib.Path`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: Union[str, Path], text: str, fsync: bool = True) -> Path:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(
+    path: Union[str, Path],
+    payload: Any,
+    fsync: bool = True,
+    indent: Optional[int] = 2,
+    sort_keys: bool = True,
+) -> Path:
+    """Atomically replace ``path`` with ``payload`` serialized as JSON.
+
+    A trailing newline is appended so the artifact diffs cleanly.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text, fsync=fsync)
+
+
+def _lock_path(path: Union[str, Path]) -> Path:
+    """The sidecar lock file guarding ``path``.
+
+    A sidecar (not the artifact itself) so the lock survives the
+    ``os.replace`` that swaps the artifact out from under it.
+    """
+    path = Path(path)
+    return path.parent / (path.name + ".lock")
+
+
+@contextmanager
+def file_lock(
+    path: Union[str, Path],
+    timeout: float = 30.0,
+    poll_interval: float = 0.02,
+) -> Iterator[Path]:
+    """Hold an exclusive advisory lock on ``path``'s sidecar lock file.
+
+    Args:
+        path: the artifact being guarded (the lock file is
+            ``<path>.lock`` next to it).
+        timeout: seconds to keep retrying before raising
+            :class:`~repro.errors.LockTimeoutError`.
+        poll_interval: sleep between acquisition attempts, seconds.
+
+    Yields:
+        The lock-file path (mostly for tests).
+    """
+    lock_file = _lock_path(path)
+    lock_file.parent.mkdir(parents=True, exist_ok=True)
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield lock_file
+        return
+    fd = os.open(str(lock_file), os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise LockTimeoutError(
+                        f"could not acquire {lock_file} within {timeout} s "
+                        "(another run holds the ledger?)"
+                    ) from None
+                time.sleep(poll_interval)
+        try:
+            yield lock_file
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
+def locked_update_json(
+    path: Union[str, Path],
+    update: Callable[[Any], Any],
+    default: Callable[[], Any] = dict,
+    timeout: float = 30.0,
+    fsync: bool = True,
+) -> Any:
+    """Read-modify-write a JSON artifact under the advisory lock.
+
+    The whole cycle — read, ``update``, atomic replace — happens while
+    holding the sidecar lock, so two concurrent writers serialize
+    instead of dropping each other's changes.  A missing or corrupt
+    file (e.g. truncated by a pre-atomic-era crash) is replaced by
+    ``default()`` rather than aborting the run.
+
+    Args:
+        path: the JSON artifact.
+        update: called with the current payload; its return value (or
+            the mutated payload, if it returns None) is written back.
+        default: factory for the payload when the file is absent or
+            unreadable.
+        timeout: lock acquisition bound, seconds.
+        fsync: forwarded to :func:`atomic_write_json`.
+
+    Returns:
+        The payload that was written.
+    """
+    path = Path(path)
+    with file_lock(path, timeout=timeout):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = default()
+        result = update(payload)
+        if result is None:
+            result = payload
+        atomic_write_json(path, result, fsync=fsync)
+    return result
+
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "file_lock",
+    "locked_update_json",
+]

@@ -1,0 +1,145 @@
+"""The ``state_dict()`` / ``load_state()`` protocol and its helpers.
+
+Deterministic resume requires every stateful link of the harvesting
+chain — engine, controller, S&H internals, storage, scheduler, fault
+wrappers, RNGs — to round-trip its mutable state through plain JSON
+data.  The protocol is deliberately minimal:
+
+* ``state_dict() -> dict`` — a JSON-serializable snapshot of the
+  object's *mutable* state (configuration is not captured; a resume
+  reconstructs the object from the same arguments and then loads
+  state into it).
+* ``load_state(state: dict) -> None`` — restore a snapshot produced by
+  the same class.
+
+Floats survive JSON exactly (CPython serializes ``repr`` shortest
+round-trip), so a loaded object continues bitwise-identically to one
+that was never snapshotted — the property
+``tests/property/test_state_roundtrip.py`` pins with Hypothesis.
+
+Helpers here keep the per-class implementations to a few lines each and
+make missing-key errors uniform (:class:`~repro.errors.StateFormatError`
+naming the class and the key).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Protocol, runtime_checkable
+
+from repro.errors import StateFormatError
+
+
+@runtime_checkable
+class Stateful(Protocol):
+    """Anything whose mutable state round-trips through plain data."""
+
+    def state_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of the mutable state."""
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+
+
+def capture_fields(obj: Any, fields: Iterable[str]) -> Dict[str, Any]:
+    """Snapshot the named attributes of ``obj`` into a plain dict."""
+    return {name: getattr(obj, name) for name in fields}
+
+
+def restore_fields(obj: Any, state: Dict[str, Any], fields: Iterable[str]) -> None:
+    """Set the named attributes of ``obj`` from ``state``.
+
+    Raises:
+        StateFormatError: when a required key is missing — the snapshot
+            was produced by a different class or schema.
+    """
+    for name in fields:
+        if name not in state:
+            raise StateFormatError(
+                f"state for {type(obj).__name__} is missing key {name!r} "
+                f"(has: {sorted(state)})"
+            )
+    for name in fields:
+        setattr(obj, name, state[name])
+
+
+def child_state(obj: Any) -> Optional[Dict[str, Any]]:
+    """``obj.state_dict()`` if ``obj`` speaks the protocol, else None.
+
+    Lets containers (the quasi-static engine, fault wrappers) serialize
+    heterogeneous children — stateless callables and profiles simply
+    contribute nothing.
+    """
+    if obj is None:
+        return None
+    getter = getattr(obj, "state_dict", None)
+    if getter is None:
+        return None
+    return getter()
+
+
+def load_child_state(obj: Any, state: Optional[Dict[str, Any]], label: str) -> None:
+    """Restore a child captured by :func:`child_state`.
+
+    A snapshot for a child that cannot load it (or vice versa) means
+    the resume reconstructed a different chain than the snapshot came
+    from — surfaced as a :class:`~repro.errors.StateFormatError`
+    instead of silently resuming half the state.
+    """
+    setter = getattr(obj, "load_state", None) if obj is not None else None
+    if state is None:
+        if setter is not None:
+            raise StateFormatError(
+                f"snapshot has no state for {label!r} but the reconstructed "
+                f"object ({type(obj).__name__}) is stateful"
+            )
+        return
+    if setter is None:
+        raise StateFormatError(
+            f"snapshot carries state for {label!r} but the reconstructed "
+            f"object ({type(obj).__name__ if obj is not None else None}) "
+            "cannot load it"
+        )
+    setter(state)
+
+
+def rng_state_dict(rng) -> Dict[str, Any]:
+    """Serialize a ``numpy.random.Generator``'s position to plain data.
+
+    PCG64 state is a pair of (arbitrary-precision) Python ints plus two
+    small fields — all JSON-exact — so a restored generator continues
+    the stream bit-for-bit.
+    """
+    state = rng.bit_generator.state
+    return {
+        "bit_generator": state["bit_generator"],
+        "state": {str(k): int(v) for k, v in state["state"].items()},
+        "has_uint32": int(state.get("has_uint32", 0)),
+        "uinteger": int(state.get("uinteger", 0)),
+    }
+
+
+def load_rng_state(rng, state: Dict[str, Any]) -> None:
+    """Restore a generator position captured by :func:`rng_state_dict`."""
+    current = rng.bit_generator.state
+    if state.get("bit_generator") != current["bit_generator"]:
+        raise StateFormatError(
+            f"RNG snapshot is for {state.get('bit_generator')!r}, "
+            f"generator uses {current['bit_generator']!r}"
+        )
+    rng.bit_generator.state = {
+        "bit_generator": state["bit_generator"],
+        "state": {k: int(v) for k, v in state["state"].items()},
+        "has_uint32": int(state.get("has_uint32", 0)),
+        "uinteger": int(state.get("uinteger", 0)),
+    }
+
+
+__all__ = [
+    "Stateful",
+    "capture_fields",
+    "restore_fields",
+    "child_state",
+    "load_child_state",
+    "rng_state_dict",
+    "load_rng_state",
+]

@@ -14,6 +14,8 @@ Usage::
     python -m repro comparison [--hours 24]   # E8 (slow)
     python -m repro resilience [--seed 0]     # E16 fault-injection (slow)
     python -m repro endurance                 # E12 (slow)
+    python -m repro endurance --checkpoint ck.json          # crash-safe run
+    python -m repro endurance --resume ck.json              # pick it back up
     python -m repro profile comparison [--hours 1] [--out DIR]
                                               # E17: any artefact, instrumented
 """
@@ -81,7 +83,13 @@ def _cmd_design(args) -> str:
 def _cmd_montecarlo(args) -> str:
     from repro.analysis.montecarlo import render_montecarlo, run_sample_hold_montecarlo
 
-    return render_montecarlo(run_sample_hold_montecarlo(boards=args.boards))
+    return render_montecarlo(
+        run_sample_hold_montecarlo(
+            boards=args.boards,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume,
+        )
+    )
 
 
 def _cmd_spectra(args) -> str:
@@ -101,7 +109,11 @@ def _cmd_resilience(args) -> str:
     from repro.experiments import resilience
 
     report = resilience.run_resilience(
-        duration=args.hours * 3600.0, dt=args.dt, seed=args.seed
+        duration=args.hours * 3600.0,
+        dt=args.dt,
+        seed=args.seed,
+        checkpoint_path=args.checkpoint,
+        resume_from=args.resume,
     )
     return resilience.render(report)
 
@@ -109,7 +121,19 @@ def _cmd_resilience(args) -> str:
 def _cmd_endurance(args) -> str:
     from repro.experiments import endurance
 
-    return endurance.render(endurance.run_week(dt=20.0))
+    checkpoint_every = args.checkpoint_every
+    if args.checkpoint is not None and checkpoint_every is None:
+        checkpoint_every = 3600.0  # one simulated hour between writes
+    return endurance.render(
+        endurance.run_week(
+            dt=args.dt,
+            seed=args.seed,
+            days=args.days,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume_from=args.resume,
+        )
+    )
 
 
 def _cmd_aging(args) -> str:
@@ -216,6 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--seed", type=int, default=0)
         if name == "montecarlo":
             p.add_argument("--boards", type=int, default=500)
+        if name == "endurance":
+            p.add_argument("--days", type=int, default=7)
+            p.add_argument("--dt", type=float, default=20.0)
+            p.add_argument("--seed", type=int, default=4)
+            p.add_argument("--checkpoint-every", type=float, default=None,
+                           help="simulated seconds between checkpoint writes")
+        if name in ("endurance", "resilience", "montecarlo"):
+            p.add_argument("--checkpoint", default=None, metavar="PATH",
+                           help="write crash-safe progress checkpoints to PATH")
+            p.add_argument("--resume", default=None, metavar="PATH",
+                           help="resume from a checkpoint written by --checkpoint")
     profile = sub.add_parser(
         "profile",
         help="regenerate any artefact with observability enabled and export "

@@ -202,6 +202,18 @@ class AstableMultivibrator:
         self._output_high = False
         self._started = False
 
+    def state_dict(self) -> dict:
+        """Snapshot the transient state (checkpoint protocol)."""
+        from repro.ckpt.state import capture_fields
+
+        return capture_fields(self, ("_v_cap", "_output_high", "_started"))
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+
+        restore_fields(self, state, ("_v_cap", "_output_high", "_started"))
+
     def advance(self, dt: float, supply: float | None = None) -> bool:
         """Integrate the oscillator by ``dt`` seconds; returns PULSE state.
 

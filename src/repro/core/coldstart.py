@@ -143,6 +143,18 @@ class ColdStartCircuit:
         self.voltage = 0.0
         self._powered = False
 
+    def state_dict(self) -> dict:
+        """Snapshot the mutable state (checkpoint protocol)."""
+        from repro.ckpt.state import capture_fields
+
+        return capture_fields(self, ("voltage", "_powered"))
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+
+        restore_fields(self, state, ("voltage", "_powered"))
+
 
 @dataclass
 class ActiveMonitor:

@@ -50,6 +50,13 @@ class PlatformConfig:
     min_operating_voltage: float = 2.0
 
     def __post_init__(self) -> None:
+        from repro.validation import require_finite
+
+        # Typed non-finite rejection first: nan slips through every
+        # comparison below (nan <= 0 is False) and would only surface
+        # hours into a run.
+        for name in ("alpha", "supply", "min_operating_voltage"):
+            require_finite(getattr(self, name), name)
         if not 0.0 < self.alpha <= 1.0:
             raise ConfigurationError(f"alpha must be in (0, 1], got {self.alpha!r}")
         if self.supply <= 0.0:

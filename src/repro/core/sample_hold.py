@@ -221,3 +221,26 @@ class SampleHoldCircuit:
         self._held = 0.0
         self.input_buffer.settle(0.0)
         self.output_buffer.settle(0.0)
+
+    # --- checkpoint protocol -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the chain's mutable state: hold node, buffers, switch."""
+        return {
+            "held": self._held,
+            "input_buffer": self.input_buffer.state_dict(),
+            "output_buffer": self.output_buffer.state_dict(),
+            "switch": self.switch.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        for key in ("held", "input_buffer", "output_buffer", "switch"):
+            if key not in state:
+                from repro.errors import StateFormatError
+
+                raise StateFormatError(f"SampleHoldCircuit state missing {key!r}")
+        self._held = state["held"]
+        self.input_buffer.load_state(state["input_buffer"])
+        self.output_buffer.load_state(state["output_buffer"])
+        self.switch.load_state(state["switch"])

@@ -177,6 +177,32 @@ class SampleHoldMPPT:
             note="cold-starting",
         )
 
+    # --- checkpoint protocol ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the platform's mutable state: the controller's own
+        counters plus the S&H chain, cold-start circuit and astable."""
+        from repro.ckpt.state import capture_fields
+
+        state = capture_fields(self, ("_powered", "_next_pulse", "_sample_count"))
+        state["sample_hold"] = self.config.sample_hold.state_dict()
+        state["coldstart"] = self.config.coldstart.state_dict()
+        state["astable"] = self.config.astable.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+        from repro.errors import StateFormatError
+
+        restore_fields(self, state, ("_powered", "_next_pulse", "_sample_count"))
+        for key in ("sample_hold", "coldstart", "astable"):
+            if key not in state:
+                raise StateFormatError(f"SampleHoldMPPT state missing {key!r}")
+        self.config.sample_hold.load_state(state["sample_hold"])
+        self.config.coldstart.load_state(state["coldstart"])
+        self.config.astable.load_state(state["astable"])
+
     # --- introspection helpers (benches/tests) --------------------------------------
 
     def steady_state_operating_voltage(self, cell_model) -> Optional[float]:

@@ -59,9 +59,37 @@ class FaultConfigError(ReproError, ValueError):
     """A fault schedule or fault wrapper was configured inconsistently."""
 
 
+class ConfigError(ModelParameterError, ConfigurationError):
+    """A physical parameter failed construction-time validation (NaN,
+    Inf, wrong sign).  Carries the offending field name so a run that
+    would otherwise die deep inside the engine with a
+    :class:`NumericalGuardError` fails at the constructor instead.
+
+    Subclasses both :class:`ModelParameterError` and
+    :class:`ConfigurationError` so every pre-existing ``except``/
+    ``pytest.raises`` site keeps catching what it always caught."""
+
+    def __init__(self, message: str, field: str = ""):
+        super().__init__(message)
+        self.field = field
+
+
 class TelemetryPathError(ReproError, RuntimeError):
     """The perf-telemetry ledger location could not be resolved (no repo
     root on the module's path and no ``REPRO_BENCH_PATH`` override)."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be written, read, or applied."""
+
+
+class StateFormatError(CheckpointError):
+    """A serialized state blob does not match the schema the target
+    object expects (wrong kind, wrong schema version, missing keys)."""
+
+
+class LockTimeoutError(ReproError, RuntimeError):
+    """An advisory file lock could not be acquired within its timeout."""
 
 
 class ParallelExecutionError(ReproError, RuntimeError):
@@ -79,3 +107,13 @@ class WorkerTimeoutError(ParallelExecutionError):
         super().__init__(message)
         self.spec_index = spec_index
         self.timeout = timeout
+
+
+class WorkerStallError(ParallelExecutionError):
+    """A worker's heartbeat went silent — the process is hung or dead,
+    as opposed to merely slow (a slow worker keeps beating)."""
+
+    def __init__(self, message: str, spec_index: int = -1, silent_for: float = float("nan")):
+        super().__init__(message)
+        self.spec_index = spec_index
+        self.silent_for = silent_for

@@ -10,10 +10,14 @@ never empties, and the week ends with at least the charge it started.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import math
+
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional
 
 from repro.analysis.reporting import format_table
+from repro.ckpt.checkpoint import check_spec_match, load_checkpoint, save_checkpoint
+from repro.errors import StateFormatError
 from repro.converter.buck_boost import BuckBoostConverter
 from repro.core.config import PlatformConfig
 from repro.core.system import SampleHoldMPPT
@@ -43,6 +47,18 @@ class DaySummary:
     min_store_v: float
     hibernated: bool
 
+    def to_dict(self) -> dict:
+        """Serialise for checkpoints (exact float round-trip via JSON)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "DaySummary":
+        """Rebuild a summary serialised by :meth:`to_dict`."""
+        try:
+            return cls(**state)
+        except TypeError as exc:
+            raise StateFormatError(f"bad DaySummary state: {exc}") from exc
+
 
 @dataclass
 class EnduranceResult:
@@ -68,25 +84,47 @@ class EnduranceResult:
     def energy_neutral(self) -> bool:
         return self.final_voltage >= self.initial_voltage - 0.05
 
+    def to_dict(self) -> dict:
+        """Serialise for checkpoints (exact float round-trip via JSON)."""
+        return {
+            "days": [d.to_dict() for d in self.days],
+            "initial_voltage": self.initial_voltage,
+            "final_voltage": self.final_voltage,
+            "total_reports": self.total_reports,
+        }
 
-def run_week(
-    cell: Optional[PVCell] = None,
-    storage_farads: float = 10.0,
-    initial_voltage: float = 3.2,
-    dt: float = 10.0,
-    seed: int = 4,
-    precompute: bool = True,
-) -> EnduranceResult:
-    """Run the seven-day endurance scenario.
+    @classmethod
+    def from_dict(cls, state: dict) -> "EnduranceResult":
+        """Rebuild a result serialised by :meth:`to_dict`."""
+        missing = [
+            key
+            for key in ("days", "initial_voltage", "final_voltage", "total_reports")
+            if key not in state
+        ]
+        if missing:
+            raise StateFormatError(f"EnduranceResult state missing {missing}")
+        return cls(
+            days=[DaySummary.from_dict(d) for d in state["days"]],
+            initial_voltage=state["initial_voltage"],
+            final_voltage=state["final_voltage"],
+            total_reports=state["total_reports"],
+        )
 
-    Args:
-        cell: harvesting cell (AM-1815 default).
-        storage_farads: supercapacitor size.
-        initial_voltage: store voltage at Monday 00:00.
-        dt: quasi-static step.
-        seed: environment seed.
-        precompute: solve the whole week's light/model trace up front
-            (batch Lambert-W) instead of per step; identical numerics.
+
+def _build_week(
+    cell: Optional[PVCell],
+    storage_farads: float,
+    initial_voltage: float,
+    dt: float,
+    seed: int,
+    precompute: bool,
+    days: int,
+):
+    """Construct the endurance chain (sim, storage, scheduler).
+
+    Everything here is a pure function of the arguments, so a resumed
+    run rebuilds an identical chain before loading checkpointed state
+    into it.
     """
     cell = cell if cell is not None else am_1815()
     storage = Supercapacitor(
@@ -105,8 +143,9 @@ def run_week(
         config=PlatformConfig.trimmed_for_cell(cell), assume_started=True
     )
     environment = weekly_office(seed=seed)
+    horizon = days * DAY
     precomputed = (
-        precompute_conditions(cell, environment, WEEK, dt) if precompute else None
+        precompute_conditions(cell, environment, horizon, dt) if precompute else None
     )
     sim = QuasiStaticSimulator(
         cell,
@@ -118,33 +157,141 @@ def run_week(
         record=False,
         precomputed=precomputed,
     )
+    return sim, storage, scheduler
 
-    days: List[DaySummary] = []
-    for day in range(7):
-        harvested_before = sim.summary.energy_delivered
-        consumed_before = sim.summary.energy_load
-        reports_before = scheduler.reports_sent
-        min_v = storage.voltage
-        hibernated = False
-        steps = int(DAY / dt)
-        for _ in range(steps):
-            sim.step(dt)
-            min_v = min(min_v, storage.voltage)
-            hibernated = hibernated or scheduler.hibernating
-        days.append(
-            DaySummary(
-                day=day,
-                harvested_j=sim.summary.energy_delivered - harvested_before,
-                consumed_j=sim.summary.energy_load - consumed_before,
-                reports=scheduler.reports_sent - reports_before,
-                store_end_v=storage.voltage,
-                min_store_v=min_v,
-                hibernated=hibernated,
+
+def _week_spec_echo(
+    cell: Optional[PVCell],
+    storage_farads: float,
+    initial_voltage: float,
+    dt: float,
+    seed: int,
+    days: int,
+) -> dict:
+    """The construction arguments echoed into checkpoints.
+
+    A resume refuses to load a checkpoint whose echo differs — loading
+    Monday's state into a differently-built week would not crash, it
+    would silently produce wrong numbers.
+    """
+    return {
+        "experiment": "endurance-week",
+        "cell": getattr(cell, "name", type(cell).__name__) if cell is not None else "am-1815",
+        "storage_farads": storage_farads,
+        "initial_voltage": initial_voltage,
+        "dt": dt,
+        "seed": seed,
+        "days": days,
+    }
+
+
+def run_week(
+    cell: Optional[PVCell] = None,
+    storage_farads: float = 10.0,
+    initial_voltage: float = 3.2,
+    dt: float = 10.0,
+    seed: int = 4,
+    precompute: bool = True,
+    days: int = 7,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[float] = None,
+    resume_from: Optional[str] = None,
+    on_checkpoint: Optional[Callable[[int, str], None]] = None,
+) -> EnduranceResult:
+    """Run the seven-day endurance scenario (checkpointable, resumable).
+
+    Args:
+        cell: harvesting cell (AM-1815 default).
+        storage_farads: supercapacitor size.
+        initial_voltage: store voltage at Monday 00:00.
+        dt: quasi-static step.
+        seed: environment seed.
+        precompute: solve the whole week's light/model trace up front
+            (batch Lambert-W) instead of per step; identical numerics.
+        days: horizon in days (7 = the published scenario).
+        checkpoint_path: where to write crash-recovery checkpoints
+            (atomic write; the previous checkpoint is never corrupted).
+        checkpoint_every: simulated seconds between checkpoints; None
+            disables checkpointing (the default — zero overhead).
+        resume_from: path of a checkpoint to resume; the run continues
+            from the captured state and produces a bitwise-identical
+            :class:`EnduranceResult` to an uninterrupted run.
+        on_checkpoint: optional hook ``(count, path)`` called after each
+            checkpoint write (used by the crash-injection tests).
+    """
+    sim, storage, scheduler = _build_week(
+        cell, storage_farads, initial_voltage, dt, seed, precompute, days
+    )
+    spec = _week_spec_echo(cell, storage_farads, initial_voltage, dt, seed, days)
+
+    steps_per_day = int(DAY / dt)
+    total_steps = days * steps_per_day
+    day_list: List[DaySummary] = []
+    day_acc: Optional[dict] = None
+    step = 0
+
+    if resume_from is not None:
+        envelope = load_checkpoint(resume_from, kind="endurance")
+        check_spec_match(envelope, spec, resume_from)
+        state = envelope["state"]
+        sim.load_state(state["sim"])
+        scheduler.load_state(state["scheduler"])
+        day_list = [DaySummary.from_dict(d) for d in state["days_done"]]
+        day_acc = state["day"]
+        step = state["step"]
+
+    next_ckpt = None
+    if checkpoint_every is not None and checkpoint_path is not None:
+        next_ckpt = (math.floor(sim.time / checkpoint_every) + 1) * checkpoint_every
+    ckpt_count = 0
+
+    while step < total_steps:
+        if day_acc is None:
+            day_acc = {
+                "harvested_before": sim.summary.energy_delivered,
+                "consumed_before": sim.summary.energy_load,
+                "reports_before": scheduler.reports_sent,
+                "min_v": storage.voltage,
+                "hibernated": False,
+            }
+        sim.step(dt)
+        day_acc["min_v"] = min(day_acc["min_v"], storage.voltage)
+        day_acc["hibernated"] = day_acc["hibernated"] or scheduler.hibernating
+        step += 1
+        if step % steps_per_day == 0:
+            day_list.append(
+                DaySummary(
+                    day=step // steps_per_day - 1,
+                    harvested_j=sim.summary.energy_delivered - day_acc["harvested_before"],
+                    consumed_j=sim.summary.energy_load - day_acc["consumed_before"],
+                    reports=scheduler.reports_sent - day_acc["reports_before"],
+                    store_end_v=storage.voltage,
+                    min_store_v=day_acc["min_v"],
+                    hibernated=day_acc["hibernated"],
+                )
             )
-        )
+            day_acc = None
+        if next_ckpt is not None and sim.time >= next_ckpt:
+            save_checkpoint(
+                checkpoint_path,
+                kind="endurance",
+                state={
+                    "sim": sim.state_dict(),
+                    "scheduler": scheduler.state_dict(),
+                    "days_done": [d.to_dict() for d in day_list],
+                    "day": day_acc,
+                    "step": step,
+                },
+                spec=spec,
+                meta={"sim_time": sim.time},
+            )
+            ckpt_count += 1
+            next_ckpt = (math.floor(sim.time / checkpoint_every) + 1) * checkpoint_every
+            if on_checkpoint is not None:
+                on_checkpoint(ckpt_count, checkpoint_path)
 
     return EnduranceResult(
-        days=days,
+        days=day_list,
         initial_voltage=initial_voltage,
         final_voltage=storage.voltage,
         total_reports=scheduler.reports_sent,
@@ -179,24 +326,72 @@ def run_week_ensemble(
     dt: float = 10.0,
     precompute: bool = True,
     max_workers: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> List[EnduranceResult]:
     """Run the endurance week over an ensemble of environment seeds.
 
     Each seed is an independent week, so the ensemble fans out over the
     process pool (:func:`repro.sim.parallel.parallel_map`); results come
     back in seed order and match the serial path exactly.
+
+    With ``checkpoint_path`` set, seeds run in pool-sized waves and the
+    checkpoint is rewritten (atomically) after each wave with every
+    completed seed's result; ``resume_from`` skips those seeds and
+    recomputes only the remainder, returning results in the original
+    seed order.
     """
-    specs = [
-        _WeekSpec(
+    ensemble_spec = {
+        "experiment": "endurance-ensemble",
+        "storage_farads": storage_farads,
+        "initial_voltage": initial_voltage,
+        "dt": dt,
+        "precompute": precompute,
+    }
+    completed: dict = {}
+    if resume_from is not None:
+        envelope = load_checkpoint(resume_from, kind="endurance-ensemble")
+        check_spec_match(envelope, ensemble_spec, resume_from)
+        completed = {
+            int(seed): EnduranceResult.from_dict(result)
+            for seed, result in envelope["state"]["completed"].items()
+        }
+
+    def make_spec(seed: int) -> _WeekSpec:
+        return _WeekSpec(
             storage_farads=storage_farads,
             initial_voltage=initial_voltage,
             dt=dt,
             seed=seed,
             precompute=precompute,
         )
-        for seed in seeds
-    ]
-    return parallel_map(_run_week_spec, specs, max_workers=max_workers)
+
+    pending = [seed for seed in seeds if seed not in completed]
+    if checkpoint_path is None:
+        fresh = parallel_map(_run_week_spec, [make_spec(s) for s in pending],
+                             max_workers=max_workers)
+        completed.update(zip(pending, fresh))
+    else:
+        import os
+
+        wave = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        for start in range(0, len(pending), wave):
+            batch = pending[start : start + wave]
+            fresh = parallel_map(_run_week_spec, [make_spec(s) for s in batch],
+                                 max_workers=max_workers)
+            completed.update(zip(batch, fresh))
+            save_checkpoint(
+                checkpoint_path,
+                kind="endurance-ensemble",
+                state={
+                    "completed": {
+                        str(seed): result.to_dict() for seed, result in completed.items()
+                    }
+                },
+                spec=ensemble_spec,
+                meta={"seeds_done": len(completed), "seeds_total": len(seeds)},
+            )
+    return [completed[seed] for seed in seeds]
 
 
 def render(result: EnduranceResult) -> str:

@@ -40,11 +40,12 @@ class VocLog:
 
     def to_csv(self, path) -> None:
         """Persist the log as ``time,lux,voc`` CSV (plottable, reloadable)."""
-        with open(path, "w") as handle:
-            handle.write(f"# voc-log name={self.name} dt={self.dt:g}\n")
-            handle.write("time,lux,voc\n")
-            for t, lux, voc in zip(self.times, self.lux, self.voc):
-                handle.write(f"{t:.6g},{lux:.6g},{voc:.6g}\n")
+        from repro.ckpt.atomic import atomic_write_text
+
+        lines = [f"# voc-log name={self.name} dt={self.dt:g}", "time,lux,voc"]
+        for t, lux, voc in zip(self.times, self.lux, self.voc):
+            lines.append(f"{t:.6g},{lux:.6g},{voc:.6g}")
+        atomic_write_text(path, "\n".join(lines) + "\n")
 
     @classmethod
     def from_csv(cls, path, name: str | None = None) -> "VocLog":

@@ -23,12 +23,13 @@ E8 comparison path and reproduces the golden traces in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.ckpt.checkpoint import check_spec_match, load_checkpoint, save_checkpoint
 from repro.converter.buck_boost import BuckBoostConverter
 from repro.core.system import SampleHoldMPPT
 from repro.env.profiles import HOURS, ConstantProfile, LightProfile
@@ -207,6 +208,25 @@ class ResilienceCell:
     scenario: str
     summary: HarvestSummary
 
+    def to_dict(self) -> dict:
+        """Serialise for checkpoints (exact float round-trip via JSON)."""
+        return {
+            "campaign": self.campaign,
+            "technique": self.technique,
+            "scenario": self.scenario,
+            "summary": self.summary.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "ResilienceCell":
+        """Rebuild a cell serialised by :meth:`to_dict`."""
+        return cls(
+            campaign=state["campaign"],
+            technique=state["technique"],
+            scenario=state["scenario"],
+            summary=HarvestSummary.from_dict(state["summary"]),
+        )
+
 
 @dataclass(frozen=True)
 class _CampaignSpec:
@@ -294,6 +314,15 @@ class RecoveryResult:
     def recovered(self) -> bool:
         """Whether the technique returned to 90 % of baseline."""
         return self.recovery_time == self.recovery_time
+
+    def to_dict(self) -> dict:
+        """Serialise for checkpoints."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "RecoveryResult":
+        """Rebuild a result serialised by :meth:`to_dict`."""
+        return cls(**state)
 
 
 def measure_recovery(
@@ -383,6 +412,15 @@ class ColdStartStats:
     def success_rate(self) -> float:
         """Fraction of attempts that cold-started."""
         return self.successes / self.attempts if self.attempts else 0.0
+
+    def to_dict(self) -> dict:
+        """Serialise for checkpoints."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "ColdStartStats":
+        """Rebuild stats serialised by :meth:`to_dict`."""
+        return cls(**state)
 
 
 def coldstart_under_flicker(
@@ -516,6 +554,8 @@ def run_resilience(
     include_coldstart: bool = True,
     parallel: bool = False,
     max_workers: int | None = None,
+    checkpoint_path: str | None = None,
+    resume_from: str | None = None,
 ) -> ResilienceReport:
     """Run the comparison under every requested fault campaign.
 
@@ -534,6 +574,13 @@ def run_resilience(
         include_coldstart: run the flicker cold-start campaign.
         parallel: fan (campaign, scenario) batches over a process pool.
         max_workers: pool size when ``parallel``.
+        checkpoint_path: where to write crash-recovery checkpoints; the
+            checkpoint is rewritten (atomically) after each completed
+            (campaign, scenario) batch — serial — or after each pool
+            wave — parallel.
+        resume_from: checkpoint to resume; completed batches are reused
+            verbatim (each batch is deterministic in the spec, so the
+            report is identical to an uninterrupted run).
     """
     cell = cell if cell is not None else am_1815()
     selected_techniques = (
@@ -567,21 +614,99 @@ def run_resilience(
         for campaign in selected_campaigns
         for scenario in selected_scenarios
     ]
-    if parallel:
-        batches = parallel_map(_run_campaign_scenario, specs, max_workers=max_workers)
+
+    run_spec = {
+        "experiment": "resilience",
+        "cell": getattr(cell, "name", type(cell).__name__),
+        "duration": duration,
+        "dt": dt,
+        "techniques": list(selected_techniques),
+        "scenarios": list(selected_scenarios),
+        "campaigns": list(selected_campaigns),
+        "seed": seed,
+        "include_recovery": include_recovery,
+        "include_coldstart": include_coldstart,
+    }
+    done: Dict[str, List[ResilienceCell]] = {}
+    cached_recovery: Optional[List[RecoveryResult]] = None
+    cached_coldstart: Optional[ColdStartStats] = None
+    if resume_from is not None:
+        envelope = load_checkpoint(resume_from, kind="resilience")
+        check_spec_match(envelope, run_spec, resume_from)
+        state = envelope["state"]
+        done = {
+            key: [ResilienceCell.from_dict(c) for c in cells]
+            for key, cells in state["batches"].items()
+        }
+        if state.get("recovery") is not None:
+            cached_recovery = [RecoveryResult.from_dict(r) for r in state["recovery"]]
+        if state.get("coldstart") is not None:
+            cached_coldstart = ColdStartStats.from_dict(state["coldstart"])
+
+    def batch_key(spec: _CampaignSpec) -> str:
+        return f"{spec.campaign}|{spec.scenario}"
+
+    def save_progress() -> None:
+        if checkpoint_path is None:
+            return
+        save_checkpoint(
+            checkpoint_path,
+            kind="resilience",
+            state={
+                "batches": {
+                    key: [c.to_dict() for c in cells] for key, cells in done.items()
+                },
+                "recovery": (
+                    [r.to_dict() for r in cached_recovery]
+                    if cached_recovery is not None
+                    else None
+                ),
+                "coldstart": (
+                    cached_coldstart.to_dict() if cached_coldstart is not None else None
+                ),
+            },
+            spec=run_spec,
+            meta={"batches_done": len(done), "batches_total": len(specs)},
+        )
+
+    pending = [spec for spec in specs if batch_key(spec) not in done]
+    if parallel and checkpoint_path is None:
+        batches = parallel_map(_run_campaign_scenario, pending, max_workers=max_workers)
+        for spec, batch in zip(pending, batches):
+            done[batch_key(spec)] = batch
+    elif parallel:
+        import os
+
+        wave = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        for start in range(0, len(pending), wave):
+            chunk = pending[start : start + wave]
+            batches = parallel_map(
+                _run_campaign_scenario, chunk, max_workers=max_workers
+            )
+            for spec, batch in zip(chunk, batches):
+                done[batch_key(spec)] = batch
+            save_progress()
     else:
-        batches = [_run_campaign_scenario(spec) for spec in specs]
+        for spec in pending:
+            done[batch_key(spec)] = _run_campaign_scenario(spec)
+            save_progress()
 
     report = ResilienceReport(
         seed=seed, duration=duration, dt=dt, campaigns=selected_campaigns
     )
-    for batch in batches:
-        report.cells.extend(batch)
+    for spec in specs:
+        report.cells.extend(done[batch_key(spec)])
 
     if include_recovery:
-        report.recovery = measure_recovery(selected_techniques, cell=cell)
+        if cached_recovery is None:
+            cached_recovery = measure_recovery(selected_techniques, cell=cell)
+            save_progress()
+        report.recovery = cached_recovery
     if include_coldstart:
-        report.coldstart = coldstart_under_flicker(cell=cell, seed=seed)
+        if cached_coldstart is None:
+            cached_coldstart = coldstart_under_flicker(cell=cell, seed=seed)
+            save_progress()
+        report.coldstart = cached_coldstart
     return report
 
 

@@ -48,6 +48,18 @@ class SetpointDriftFault:
         self.drift_per_hour = drift_per_hour
         self.name = f"{base.name}+drift"
 
+    def state_dict(self) -> dict:
+        """Snapshot the wrapped controller (the wrapper is stateless)."""
+        from repro.ckpt.state import child_state
+
+        return {"base": child_state(self.base)}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import load_child_state
+
+        load_child_state(self.base, state.get("base"), "SetpointDriftFault.base")
+
     def decide(self, obs: Observation) -> ControlDecision:
         decision = self.base.decide(obs)
         if decision.operating_voltage is None:
@@ -99,6 +111,18 @@ class HoldLeakageFault:
         self.droop_multiplier = droop_multiplier
         self.name = f"{base.name}+leaky-hold"
 
+    def state_dict(self) -> dict:
+        """Snapshot the wrapped controller (the wrapper is stateless)."""
+        from repro.ckpt.state import child_state
+
+        return {"base": child_state(self.base)}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import load_child_state
+
+        load_child_state(self.base, state.get("base"), "HoldLeakageFault.base")
+
     def decide(self, obs: Observation) -> ControlDecision:
         decision = self.base.decide(obs)
         if self.schedule.active(obs.time):
@@ -125,6 +149,21 @@ class ConverterBrownoutFault:
         self.base = base
         self.schedule = schedule
         self._browned_out = False
+
+    def state_dict(self) -> dict:
+        """Snapshot the brownout latch and the wrapped converter."""
+        from repro.ckpt.state import capture_fields, child_state
+
+        state = capture_fields(self, ("_browned_out",))
+        state["base"] = child_state(self.base)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import load_child_state, restore_fields
+
+        restore_fields(self, state, ("_browned_out",))
+        load_child_state(self.base, state.get("base"), "ConverterBrownoutFault.base")
 
     def tick(self, t: float, dt: float) -> None:
         """Engine hook: update the fault state for the step starting at ``t``."""
@@ -184,6 +223,21 @@ class StorageFault:
         self.mode = mode
         self.short_resistance = short_resistance
         self._active = False
+
+    def state_dict(self) -> dict:
+        """Snapshot the fault latch and the wrapped store."""
+        from repro.ckpt.state import capture_fields, child_state
+
+        state = capture_fields(self, ("_active",))
+        state["base"] = child_state(self.base)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import load_child_state, restore_fields
+
+        restore_fields(self, state, ("_active",))
+        load_child_state(self.base, state.get("base"), "StorageFault.base")
 
     def tick(self, t: float, dt: float) -> None:
         """Engine hook: update fault state; bleed the store in short mode."""

@@ -147,6 +147,26 @@ class FaultSchedule:
             t += width
         return cls(windows)
 
+    # --- checkpoint protocol --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the window set (checkpoint protocol).
+
+        A schedule is immutable, but long-run checkpoints still embed
+        it so a resumed fault campaign provably replays the same
+        windows the interrupted run was using.
+        """
+        return {"windows": [[w.start, w.end] for w in self.windows]}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FaultSchedule":
+        """Rebuild a schedule captured by :meth:`state_dict`."""
+        if "windows" not in state:
+            from repro.errors import StateFormatError
+
+            raise StateFormatError("FaultSchedule state missing 'windows'")
+        return cls.from_windows([(s, e) for s, e in state["windows"]])
+
     # --- queries --------------------------------------------------------------
 
     def active(self, t: float) -> bool:

@@ -59,6 +59,10 @@ class EnergyAwareScheduler:
     _next_report: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
+        from repro.validation import require_finite
+
+        for name in ("v_survival", "v_comfort", "min_period", "max_period", "update_interval"):
+            require_finite(getattr(self, name), name)
         if self.v_survival >= self.v_comfort:
             raise ModelParameterError("v_survival must be below v_comfort")
         if self.min_period >= self.max_period:
@@ -152,6 +156,28 @@ class EnergyAwareScheduler:
         return self.node.sleep_power
 
     __call__ = power
+
+    # --- checkpoint protocol --------------------------------------------------------
+
+    _STATE_FIELDS = (
+        "_current_period",
+        "_next_update",
+        "_hibernating",
+        "_reports_sent",
+        "_next_report",
+    )
+
+    def state_dict(self) -> dict:
+        """Snapshot the scheduler's mutable state (checkpoint protocol)."""
+        from repro.ckpt.state import capture_fields
+
+        return capture_fields(self, self._STATE_FIELDS)
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+
+        restore_fields(self, state, self._STATE_FIELDS)
 
     def average_power_at(self, voltage: float) -> float:
         """Steady-state average power if the store sat at ``voltage``."""

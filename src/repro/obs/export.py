@@ -201,11 +201,15 @@ def write_profile(
         "prom": directory / f"{prefix}.prom",
         "folded": directory / f"{prefix}.folded",
     }
-    with open(paths["json"], "w", encoding="utf-8") as fh:
-        json.dump(run_report(registry, tracer, note=note), fh, indent=2)
-        fh.write("\n")
-    paths["prom"].write_text(prometheus_text(registry), encoding="utf-8")
-    paths["folded"].write_text(collapsed_stacks(tracer), encoding="utf-8")
+    # Atomic writes: profile artifacts are uploaded by CI and read by
+    # dashboards mid-run; a crash must not leave a torn export.
+    from repro.ckpt.atomic import atomic_write_json, atomic_write_text
+
+    atomic_write_json(
+        paths["json"], run_report(registry, tracer, note=note), sort_keys=False
+    )
+    atomic_write_text(paths["prom"], prometheus_text(registry))
+    atomic_write_text(paths["folded"], collapsed_stacks(tracer))
     return paths
 
 

@@ -295,6 +295,12 @@ class Hooks:
     * ``converter_gated`` / ``converter_transitions`` — quasi-static
       steps where the converter refused power, and hysteretic
       run/idle mode flips (:mod:`repro.converter.buck_boost`).
+    * ``ckpt_saves`` / ``ckpt_restores`` — checkpoint envelopes written
+      and loaded (:mod:`repro.ckpt.checkpoint`).
+    * ``parallel_retries`` / ``parallel_quarantines`` /
+      ``parallel_stalls`` — hardened-runner events: per-spec retries,
+      poison specs quarantined after exhausting retries, and heartbeat
+      watchdog stall detections (:mod:`repro.sim.parallel`).
     """
 
     __slots__ = (
@@ -312,6 +318,11 @@ class Hooks:
         "fault_activations",
         "converter_gated",
         "converter_transitions",
+        "ckpt_saves",
+        "ckpt_restores",
+        "parallel_retries",
+        "parallel_quarantines",
+        "parallel_stalls",
     )
 
     def __init__(self):
@@ -354,6 +365,17 @@ _HOOK_INSTRUMENTS = {
     "converter_transitions": (
         "converter.mode_transitions",
         "hysteretic regulator run/idle mode flips",
+    ),
+    "ckpt_saves": ("ckpt.saves", "checkpoint envelopes written"),
+    "ckpt_restores": ("ckpt.restores", "checkpoint envelopes loaded"),
+    "parallel_retries": ("parallel.retries", "per-spec retry attempts in parallel_map"),
+    "parallel_quarantines": (
+        "parallel.quarantined_specs",
+        "specs quarantined after exhausting their retry budget",
+    ),
+    "parallel_stalls": (
+        "parallel.heartbeat_stalls",
+        "workers declared hung by the heartbeat watchdog",
     ),
 }
 

@@ -36,6 +36,16 @@ class CellThermalModel:
     temperature: float | None = None
 
     def __post_init__(self) -> None:
+        from repro.validation import require_finite
+
+        for name in (
+            "area_cm2",
+            "absorptivity",
+            "thermal_resistance",
+            "thermal_capacitance",
+            "ambient_k",
+        ):
+            require_finite(getattr(self, name), name)
         if self.area_cm2 <= 0.0:
             raise ModelParameterError(f"area_cm2 must be positive, got {self.area_cm2!r}")
         if not 0.0 < self.absorptivity <= 1.0:
@@ -44,6 +54,16 @@ class CellThermalModel:
             raise ModelParameterError("thermal resistance and capacitance must be positive")
         if self.temperature is None:
             self.temperature = self.ambient_k
+
+    def state_dict(self) -> dict:
+        """Snapshot the thermal state (checkpoint protocol)."""
+        return {"temperature": self.temperature}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+
+        restore_fields(self, state, ("temperature",))
 
     def absorbed_power(self, lux: float, efficacy_lm_per_w: float = 340.0) -> float:
         """Radiant power absorbed as heat (watts) at ``lux`` illuminance."""

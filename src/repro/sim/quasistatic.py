@@ -168,6 +168,34 @@ class HarvestSummary:
         """Delivered energy net of controller overhead, joules."""
         return self.energy_delivered - self.energy_overhead
 
+    _FIELDS = (
+        "duration",
+        "energy_ideal",
+        "energy_at_cell",
+        "energy_delivered",
+        "energy_overhead",
+        "energy_load",
+        "final_storage_voltage",
+    )
+
+    def to_dict(self) -> dict:
+        """Serialise the accumulators (checkpoint protocol).
+
+        JSON round-trips Python floats exactly (shortest-repr), so a
+        summary restored from a checkpoint is bitwise-identical.
+        """
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "HarvestSummary":
+        """Rebuild a summary serialised by :meth:`to_dict`."""
+        missing = [name for name in cls._FIELDS if name not in state]
+        if missing:
+            from repro.errors import StateFormatError
+
+            raise StateFormatError(f"HarvestSummary state missing {missing}")
+        return cls(**{name: state[name] for name in cls._FIELDS})
+
 
 class QuasiStaticSimulator:
     """Run a harvesting controller against a light environment.
@@ -220,6 +248,10 @@ class QuasiStaticSimulator:
         precomputed: Optional[PrecomputedConditions] = None,
         cache: bool = False,
     ):
+        from repro.validation import require_finite, require_positive
+
+        require_finite(supply_voltage, "supply_voltage")
+        require_positive(temperature, "temperature")
         if precomputed is not None and thermal is not None:
             raise ModelParameterError(
                 "pass the thermal model to precompute_conditions, not the simulator, "
@@ -257,6 +289,66 @@ class QuasiStaticSimulator:
         if self.storage is not None:
             return self.storage.voltage
         return self.supply_voltage
+
+    # --- checkpoint protocol --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot everything needed to resume this run bitwise-identically.
+
+        Captures the clock, step index, energy accumulators, the
+        quantised MPP cache, and the mutable children (controller,
+        storage, converter, thermal) via their own ``state_dict``.  The
+        environment, cell, and precompute are pure functions of the
+        run's construction arguments, so a resumed run rebuilds them
+        from the spec instead of serialising them.
+
+        The MPP cache *must* travel with the checkpoint: its keys are
+        quantised, so colliding conditions reuse the first-computed
+        value — an empty cache on resume could recompute a subtly
+        different ideal power for a later step and break bitwise
+        equality.
+
+        Recorded traces are not captured; run checkpointed simulations
+        with ``record=False`` (the long-run drivers already do).
+        """
+        from repro.ckpt.state import child_state
+
+        return {
+            "time": self.time,
+            "step_index": self._step_index,
+            "summary": self.summary.to_dict(),
+            "mpp_cache": [[k[0], k[1], v] for k, v in self._mpp_cache.items()],
+            "controller": child_state(self.controller),
+            "storage": child_state(self.storage),
+            "converter": child_state(self.converter),
+            "thermal": child_state(self.thermal),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a freshly built run.
+
+        The simulator must have been constructed with the same spec
+        (cell, environment, controller type, ...) as the checkpointed
+        one; only the mutable state is restored here.
+        """
+        from repro.ckpt.state import load_child_state
+        from repro.errors import StateFormatError
+
+        missing = [
+            key
+            for key in ("time", "step_index", "summary", "mpp_cache")
+            if key not in state
+        ]
+        if missing:
+            raise StateFormatError(f"QuasiStaticSimulator state missing {missing}")
+        self.time = state["time"]
+        self._step_index = state["step_index"]
+        self.summary = HarvestSummary.from_dict(state["summary"])
+        self._mpp_cache = {(k0, k1): value for k0, k1, value in state["mpp_cache"]}
+        load_child_state(self.controller, state.get("controller"), "controller")
+        load_child_state(self.storage, state.get("storage"), "storage")
+        load_child_state(self.converter, state.get("converter"), "converter")
+        load_child_state(self.thermal, state.get("thermal"), "thermal")
 
     def _ideal_power(self, model) -> float:
         """True-MPP power for the step's curve, cached on quantised

@@ -143,11 +143,18 @@ def record_perf(
             :func:`repro.obs.export.counters_dict`) — cache hit rates
             and solver call counts explain *why* ``steps_per_s`` moved.
 
+    The read-modify-write cycle holds an advisory lock and the rewrite
+    is atomic (write-temp, fsync, rename), so concurrent recorders —
+    the parallel experiment runner, two CI jobs on one runner — cannot
+    interleave into a corrupt or half-written ledger, and readers never
+    observe a torn file.
+
     Returns:
         The entry that was appended.
     """
+    from repro.ckpt.atomic import locked_update_json
+
     path = path if path is not None else bench_path()
-    ledger = load_ledger(path)
     entry = {
         "wall_s": round(sample.wall_s, 4),
         "steps": sample.steps,
@@ -157,12 +164,16 @@ def record_perf(
     }
     if counters:
         entry["counters"] = {str(k): v for k, v in sorted(counters.items())}
-    history = ledger["experiments"].setdefault(sample.experiment, [])
-    history.append(entry)
-    del history[:-keep_last]
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(ledger, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+
+    def append(data: dict) -> dict:
+        if not (isinstance(data, dict) and isinstance(data.get("experiments"), dict)):
+            data = {"schema": 1, "experiments": {}}
+        history = data["experiments"].setdefault(sample.experiment, [])
+        history.append(entry)
+        del history[:-keep_last]
+        return data
+
+    locked_update_json(path, append, default=lambda: {"schema": 1, "experiments": {}})
     return entry
 
 

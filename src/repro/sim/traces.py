@@ -192,8 +192,10 @@ class TraceSet:
         merged = np.unique(np.concatenate([self._traces[n].times for n in selected]))
         columns = [np.interp(merged, self._traces[n].times, self._traces[n].values)
                    for n in selected]
-        with open(path, "w") as handle:
-            handle.write("time," + ",".join(selected) + "\n")
-            for i, t in enumerate(merged):
-                row = ",".join(f"{col[i]:.9g}" for col in columns)
-                handle.write(f"{t:.9g},{row}\n")
+        from repro.ckpt.atomic import atomic_write_text
+
+        lines = ["time," + ",".join(selected)]
+        for i, t in enumerate(merged):
+            row = ",".join(f"{col[i]:.9g}" for col in columns)
+            lines.append(f"{t:.9g},{row}")
+        atomic_write_text(path, "\n".join(lines) + "\n")

@@ -31,6 +31,15 @@ class IdealBattery:
     state_of_charge: float = 0.5
 
     def __post_init__(self) -> None:
+        from repro.validation import require_finite
+
+        for name in (
+            "nominal_voltage",
+            "capacity_joules",
+            "charge_efficiency",
+            "state_of_charge",
+        ):
+            require_finite(getattr(self, name), name)
         if self.nominal_voltage <= 0.0:
             raise ModelParameterError(f"nominal_voltage must be positive, got {self.nominal_voltage!r}")
         if self.capacity_joules <= 0.0:
@@ -48,6 +57,16 @@ class IdealBattery:
     def voltage(self) -> float:
         """Terminal voltage, volts (constant while any charge remains)."""
         return self.nominal_voltage if self.state_of_charge > 0.0 else 0.0
+
+    def state_dict(self) -> dict:
+        """Snapshot the store's mutable state (checkpoint protocol)."""
+        return {"state_of_charge": self.state_of_charge}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+
+        restore_fields(self, state, ("state_of_charge",))
 
     @property
     def stored_energy(self) -> float:

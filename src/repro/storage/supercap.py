@@ -33,6 +33,10 @@ class Supercapacitor:
     voltage: float = 0.0
 
     def __post_init__(self) -> None:
+        from repro.validation import require_finite
+
+        for name in ("capacitance", "rated_voltage", "esr", "leakage_current", "voltage"):
+            require_finite(getattr(self, name), name)
         if self.capacitance <= 0.0:
             raise ModelParameterError(f"capacitance must be positive, got {self.capacitance!r}")
         if self.rated_voltage <= 0.0:
@@ -112,6 +116,16 @@ class Supercapacitor:
             requested = power * fraction
         self.voltage = math.sqrt(2.0 * energy / self.capacitance)
         return requested
+
+    def state_dict(self) -> dict:
+        """Snapshot the store's mutable state (checkpoint protocol)."""
+        return {"voltage": self.voltage}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.ckpt.state import restore_fields
+
+        restore_fields(self, state, ("voltage",))
 
     def time_to_voltage(self, target: float, power: float) -> float:
         """Seconds of constant ``power`` charging needed to reach ``target`` volts.

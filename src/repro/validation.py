@@ -1,0 +1,91 @@
+"""Typed parameter validation for configs and engine constructors.
+
+The existing sign checks (``value <= 0``) silently pass ``nan`` —
+``nan <= 0`` is False — so a NaN smuggled into a physical parameter
+surfaces hours later as a :class:`~repro.errors.NumericalGuardError`
+deep inside a run, or worse, as a silently-wrong summary.  These
+helpers reject non-finite and out-of-range values at construction with
+a :class:`~repro.errors.ConfigError` that names the offending field, so
+a bad sweep spec fails in milliseconds, not hours.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "require_finite",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+]
+
+
+def require_finite(value: float, field: str) -> float:
+    """Validate that ``value`` is a finite real number.
+
+    Args:
+        value: the parameter value.
+        field: the parameter name, carried on the raised error.
+
+    Returns:
+        ``value``, unchanged, so the call can be used inline.
+
+    Raises:
+        ConfigError: if the value is NaN, infinite, or not a number.
+    """
+    try:
+        ok = math.isfinite(value)
+    except TypeError:
+        ok = False
+    if not ok:
+        raise ConfigError(f"{field} must be a finite number, got {value!r}", field=field)
+    return value
+
+
+def require_positive(value: float, field: str) -> float:
+    """Validate that ``value`` is finite and strictly positive."""
+    require_finite(value, field)
+    if value <= 0.0:
+        raise ConfigError(f"{field} must be positive, got {value!r}", field=field)
+    return value
+
+
+def require_non_negative(value: float, field: str) -> float:
+    """Validate that ``value`` is finite and >= 0."""
+    require_finite(value, field)
+    if value < 0.0:
+        raise ConfigError(f"{field} must be >= 0, got {value!r}", field=field)
+    return value
+
+
+def require_in_range(
+    value: float,
+    field: str,
+    low: float,
+    high: float,
+    low_open: bool = False,
+    high_open: bool = False,
+) -> float:
+    """Validate that ``value`` is finite and inside ``[low, high]``.
+
+    Args:
+        value: the parameter value.
+        field: the parameter name, carried on the raised error.
+        low: lower bound.
+        high: upper bound.
+        low_open: exclude the lower bound.
+        high_open: exclude the upper bound.
+    """
+    require_finite(value, field)
+    below = value <= low if low_open else value < low
+    above = value >= high if high_open else value > high
+    if below or above:
+        lo = "(" if low_open else "["
+        hi = ")" if high_open else "]"
+        raise ConfigError(
+            f"{field} must be in {lo}{low!r}, {high!r}{hi}, got {value!r}", field=field
+        )
+    return value

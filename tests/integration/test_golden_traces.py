@@ -54,6 +54,8 @@ def summaries_by_scenario():
 
 
 def write_golden(pivot) -> None:
+    from repro.ckpt.atomic import atomic_write_json
+
     GOLDEN_DIR.mkdir(exist_ok=True)
     for scenario, techniques in pivot.items():
         payload = {
@@ -63,7 +65,7 @@ def write_golden(pivot) -> None:
             "dt": DT,
             "techniques": techniques,
         }
-        golden_path(scenario).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_json(golden_path(scenario), payload)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,130 @@
+"""Unit tests for the atomic artifact I/O layer (repro.ckpt.atomic)."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.ckpt.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    file_lock,
+    locked_update_json,
+)
+from repro.errors import LockTimeoutError
+
+
+class TestAtomicWrite:
+    def test_writes_new_file(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old contents")
+        atomic_write_text(target, "new contents")
+        assert target.read_text() == "new contents"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "artifact.bin"
+        atomic_write_bytes(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "x")
+        atomic_write_text(target, "y")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.txt"]
+
+    def test_failure_leaves_old_file_intact(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_json(target, {"ok": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        # Old artifact untouched, no temp droppings.
+        assert json.loads(target.read_text()) == {"ok": True}
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.json"]
+
+    def test_json_is_stable_and_newline_terminated(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_json(target, {"b": 1, "a": 2})
+        text = target.read_text()
+        assert text.endswith("\n")
+        # sort_keys default makes repeated writes byte-identical.
+        atomic_write_json(target, {"a": 2, "b": 1})
+        assert target.read_text() == text
+
+
+class TestFileLock:
+    def test_lock_creates_sidecar(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        with file_lock(target) as lock_file:
+            assert lock_file.name == "ledger.json.lock"
+            assert lock_file.exists()
+
+    def test_lock_times_out_against_held_lock(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        with file_lock(target):
+            with pytest.raises(LockTimeoutError):
+                with file_lock(target, timeout=0.1, poll_interval=0.01):
+                    pass  # pragma: no cover
+
+    def test_lock_reacquirable_after_release(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        with file_lock(target, timeout=0.5):
+            pass
+        with file_lock(target, timeout=0.5):
+            pass
+
+
+def _contend(args):
+    """Worker: append one entry to the shared ledger under the lock."""
+    path, worker_id = args
+    for i in range(5):
+        locked_update_json(
+            path,
+            lambda payload: payload["entries"].append([worker_id, i]),
+            default=lambda: {"entries": []},
+            fsync=False,
+        )
+    return worker_id
+
+
+class TestLockedUpdateJson:
+    def test_creates_file_from_default(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        result = locked_update_json(
+            target, lambda p: p.update(runs=[]), default=dict
+        )
+        assert json.loads(target.read_text()) == {"runs": []}
+        assert result == {"runs": []}
+
+    def test_update_return_value_replaces_payload(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        locked_update_json(target, lambda p: {"replaced": True})
+        assert json.loads(target.read_text()) == {"replaced": True}
+
+    def test_corrupt_file_replaced_by_default(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        target.write_text("{ torn json")
+        locked_update_json(
+            target,
+            lambda p: p.update(recovered=True),
+            default=lambda: {"recovered": False},
+        )
+        assert json.loads(target.read_text()) == {"recovered": True}
+
+    def test_concurrent_writers_lose_nothing(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(4) as pool:
+            pool.map(_contend, [(str(target), w) for w in range(4)])
+        entries = json.loads(target.read_text())["entries"]
+        # 4 workers x 5 appends, none dropped by a racing read-modify-write.
+        assert len(entries) == 20
+        assert sorted(map(tuple, entries)) == sorted(
+            (w, i) for w in range(4) for i in range(5)
+        )

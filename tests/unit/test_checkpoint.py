@@ -1,0 +1,159 @@
+"""Unit tests for checkpoint envelopes and the state protocol helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    CHECKPOINT_SCHEMA,
+    check_spec_match,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.ckpt.state import (
+    capture_fields,
+    child_state,
+    load_child_state,
+    load_rng_state,
+    restore_fields,
+    rng_state_dict,
+)
+from repro.errors import CheckpointError, StateFormatError
+
+
+class TestEnvelope:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(
+            path,
+            kind="endurance",
+            state={"step": 42},
+            spec={"dt": 10.0, "seed": 4},
+            meta={"sim_time": 420.0},
+        )
+        envelope = load_checkpoint(path, kind="endurance")
+        assert envelope["schema"] == CHECKPOINT_SCHEMA
+        assert envelope["state"] == {"step": 42}
+        assert envelope["spec"] == {"dt": 10.0, "seed": 4}
+        assert envelope["meta"] == {"sim_time": 420.0}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.ckpt.json")
+
+    def test_torn_json_raises(self, tmp_path):
+        path = tmp_path / "torn.ckpt.json"
+        path.write_text('{"schema": 1, "kind": "endu')
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_checkpoint(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "old.ckpt.json"
+        path.write_text(json.dumps(
+            {"schema": 99, "kind": "x", "spec": {}, "state": {}, "meta": {}}
+        ))
+        with pytest.raises(CheckpointError, match="schema 99"):
+            load_checkpoint(path)
+
+    def test_wrong_kind_raises(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, kind="montecarlo", state={})
+        with pytest.raises(CheckpointError, match="kind 'montecarlo'"):
+            load_checkpoint(path, kind="endurance")
+
+    def test_missing_tree_raises(self, tmp_path):
+        path = tmp_path / "bad.ckpt.json"
+        path.write_text(json.dumps({"schema": CHECKPOINT_SCHEMA, "kind": "x"}))
+        with pytest.raises(CheckpointError, match="missing"):
+            load_checkpoint(path)
+
+    def test_spec_match_accepts_equal(self):
+        envelope = {"spec": {"dt": 10.0, "seed": 4}}
+        check_spec_match(envelope, {"dt": 10.0, "seed": 4})
+
+    def test_spec_mismatch_names_fields(self, tmp_path):
+        envelope = {"spec": {"dt": 10.0, "seed": 4}}
+        with pytest.raises(CheckpointError, match="seed"):
+            check_spec_match(envelope, {"dt": 10.0, "seed": 5}, "run.ckpt.json")
+
+    def test_spec_mismatch_on_extra_field(self):
+        with pytest.raises(CheckpointError, match="days"):
+            check_spec_match({"spec": {}}, {"days": 7})
+
+
+class _Thing:
+    def __init__(self):
+        self.a = 1.5
+        self.b = "x"
+
+
+class _StatefulThing(_Thing):
+    def state_dict(self):
+        return capture_fields(self, ("a", "b"))
+
+    def load_state(self, state):
+        restore_fields(self, state, ("a", "b"))
+
+
+class TestStateHelpers:
+    def test_capture_restore_round_trip(self):
+        src, dst = _Thing(), _Thing()
+        src.a, src.b = 2.25, "y"
+        restore_fields(dst, capture_fields(src, ("a", "b")), ("a", "b"))
+        assert (dst.a, dst.b) == (2.25, "y")
+
+    def test_restore_missing_key_raises(self):
+        with pytest.raises(StateFormatError, match="missing key 'b'"):
+            restore_fields(_Thing(), {"a": 1}, ("a", "b"))
+
+    def test_child_state_none_for_stateless(self):
+        assert child_state(None) is None
+        assert child_state(lambda t: 0.0) is None
+        assert child_state(_Thing()) is None
+
+    def test_child_state_captures_stateful(self):
+        assert child_state(_StatefulThing()) == {"a": 1.5, "b": "x"}
+
+    def test_load_child_state_round_trip(self):
+        obj = _StatefulThing()
+        load_child_state(obj, {"a": 9.0, "b": "z"}, "thing")
+        assert (obj.a, obj.b) == (9.0, "z")
+
+    def test_load_child_state_none_for_stateless_ok(self):
+        load_child_state(lambda t: 0.0, None, "load")  # no-op
+
+    def test_asymmetry_state_for_stateless_raises(self):
+        with pytest.raises(StateFormatError, match="cannot load"):
+            load_child_state(lambda t: 0.0, {"a": 1}, "load")
+
+    def test_asymmetry_no_state_for_stateful_raises(self):
+        with pytest.raises(StateFormatError, match="no state"):
+            load_child_state(_StatefulThing(), None, "thing")
+
+
+class TestRngRoundTrip:
+    def test_stream_continues_bitwise(self):
+        rng = np.random.default_rng(1234)
+        rng.standard_normal(17)  # advance mid-stream
+        snap = rng_state_dict(rng)
+        ahead = rng.standard_normal(100)
+
+        fresh = np.random.default_rng(1234)
+        load_rng_state(fresh, snap)
+        assert np.array_equal(fresh.standard_normal(100), ahead)
+
+    def test_snapshot_survives_json(self):
+        rng = np.random.default_rng(7)
+        snap = json.loads(json.dumps(rng_state_dict(rng)))
+        ahead = rng.integers(0, 2**63, 50)
+        fresh = np.random.default_rng(0)
+        load_rng_state(fresh, snap)
+        assert np.array_equal(fresh.integers(0, 2**63, 50), ahead)
+
+    def test_wrong_bit_generator_raises(self):
+        rng = np.random.default_rng(7)
+        snap = rng_state_dict(rng)
+        snap["bit_generator"] = "MT19937"
+        with pytest.raises(StateFormatError, match="MT19937"):
+            load_rng_state(np.random.default_rng(7), snap)
