@@ -13,6 +13,13 @@ layer: the same slice with :mod:`repro.obs` enabled must stay within
 10 % of the disabled run (min-of-rounds on both sides to shave timing
 noise), and the enabled measurement lands in the ledger with its
 counters attached so the trajectory records *why* throughput moved.
+
+On top of the static floor, each run is checked against the *ledger*:
+if throughput drops below 50 % of the last entry recorded for the same
+experiment key on the same host fingerprint, the smoke test fails
+before the regressed figure is appended.  Entries from other machines
+(or from before fingerprints existed) are skipped, so the gate never
+trips on a fresh runner.
 """
 
 import time
@@ -21,12 +28,21 @@ import repro.obs as obs
 from repro.env.profiles import HOURS
 from repro.experiments import comparison
 from repro.obs import export
-from repro.sim.telemetry import latest, measure, record_perf
+from repro.sim.telemetry import (
+    check_throughput_regression,
+    latest,
+    measure,
+    record_perf,
+)
 
 # The seed engine managed ~2 100 steps/s on the reference container; the
 # precompute+batch path exceeds 20 000.  The floor splits the difference
 # with generous headroom for slower CI machines.
 STEPS_PER_S_FLOOR = 4000.0
+
+# Ledger gate: fail when throughput halves relative to the last entry
+# recorded for the same experiment key on this host.
+REGRESSION_FLOOR_FRACTION = 0.5
 
 
 def test_perf_smoke(benchmark, save_result):
@@ -37,10 +53,15 @@ def test_perf_smoke(benchmark, save_result):
     def timed_run():
         with measure("perf_smoke_1h_dt10", steps=steps) as perf:
             results = comparison.run_comparison(duration=duration, dt=dt)
+        regression = check_throughput_regression(
+            perf, floor_fraction=REGRESSION_FLOOR_FRACTION
+        )
         record_perf(perf, note="bench_perf_smoke")
-        return results, perf
+        return results, perf, regression
 
-    results, perf = benchmark.pedantic(timed_run, rounds=1, iterations=1)
+    results, perf, regression = benchmark.pedantic(timed_run, rounds=1, iterations=1)
+
+    assert regression is None, regression
 
     assert len(results) == 27
     assert all(r.summary.duration == duration for r in results)
@@ -102,7 +123,11 @@ def test_obs_overhead(save_result):
     with measure("perf_smoke_obs_1h_dt10", steps=steps) as perf:
         pass
     perf.wall_s = enabled_s
+    regression = check_throughput_regression(
+        perf, floor_fraction=REGRESSION_FLOOR_FRACTION
+    )
     record_perf(perf, note="obs enabled (min of rounds)", counters=counters)
+    assert regression is None, regression
 
     assert counters.get("solver.lambertw_calls", 0) > 0
     ratio = enabled_s / disabled_s

@@ -164,6 +164,51 @@ def _evaluate_boards(batch: _BoardBatch) -> np.ndarray:
     return ratios
 
 
+def _evaluate_boards_fleet(batch: _BoardBatch) -> np.ndarray:
+    """Vectorized board evaluation: one array pass over the whole batch.
+
+    Derives the identical per-board component values from the same draw
+    columns as :func:`_evaluate_boards` and hands them to the fleet
+    kernel, which walks the same sample → droop → readout chain with
+    population-axis arrays instead of one circuit object per board.
+    """
+    from repro.sim.fleet import evaluate_sample_hold_boards
+
+    tolerances = batch.tolerances
+    base_buffer = UnityGainBuffer().spec
+    base_switch = AnalogSwitch().spec
+    base_cap = Capacitor(1e-6)
+    draws = batch.draws
+    top = batch.nominal_top * (1.0 + tolerances.resistor_tolerance * draws[:, 0])
+    bottom = batch.nominal_bottom * (1.0 + tolerances.resistor_tolerance * draws[:, 1])
+    u2_offset = tolerances.offset_sigma_v * draws[:, 2]
+    u4_offset = tolerances.offset_sigma_v * draws[:, 3]
+    injection = base_switch.charge_injection * np.maximum(
+        0.0, 1.0 + tolerances.charge_injection_sigma * draws[:, 4]
+    )
+    hold_c = np.maximum(1e-8, 1e-6 * (1.0 + tolerances.capacitor_tolerance * draws[:, 5]))
+    held = evaluate_sample_hold_boards(
+        batch.model,
+        batch.voc,
+        top=top,
+        bottom=bottom,
+        u2_offset=u2_offset,
+        u4_offset=u4_offset,
+        injection=injection,
+        hold_c=hold_c,
+        pulse_width=batch.pulse_width,
+        hold_time=34.5,
+        output_resistance=base_buffer.output_resistance,
+        on_resistance=base_switch.on_resistance,
+        turn_on_time=base_switch.turn_on_time,
+        bias_current=base_buffer.input_bias_current,
+        off_leakage=base_switch.off_leakage,
+        soak=base_cap.dielectric.dielectric_absorption,
+        insulation_ohm_farads=base_cap.dielectric.insulation_ohm_farads,
+    )
+    return held / batch.voc
+
+
 def run_sample_hold_montecarlo(
     boards: int = 500,
     cell: Optional[PVCell] = None,
@@ -177,6 +222,7 @@ def run_sample_hold_montecarlo(
     workers: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    engine: str = "fleet",
 ) -> MonteCarloResult:
     """Sample ``boards`` S&H builds and measure each one's ratio.
 
@@ -210,9 +256,17 @@ def run_sample_hold_montecarlo(
         resume_from: checkpoint to resume; completed chunks are reused
             (each board is a pure function of its pre-drawn normals, so
             the population is identical to an uninterrupted run).
+        engine: ``"fleet"`` (default) evaluates each chunk as one
+            vectorized population pass; ``"scalar"`` builds one circuit
+            per board and fans chunks over the process pool.  Both
+            consume the same draw matrix; they agree to solver tolerance
+            (the fleet replaces the per-board MNA solve with a
+            vectorized bisection of the same load line).
     """
     if boards < 1:
         raise ModelParameterError(f"boards must be >= 1, got {boards!r}")
+    if engine not in ("fleet", "scalar"):
+        raise ModelParameterError(f"engine must be 'fleet' or 'scalar', got {engine!r}")
     cell = cell if cell is not None else am_1815()
     model = cell.model_at(lux)
     voc = model.voc()
@@ -243,7 +297,10 @@ def run_sample_hold_montecarlo(
     ]
 
     if not checkpointing:
-        chunks = parallel_map(_evaluate_boards, batches, max_workers=max(1, parts))
+        if engine == "fleet":
+            chunks = [_evaluate_boards_fleet(batch) for batch in batches]
+        else:
+            chunks = parallel_map(_evaluate_boards, batches, max_workers=max(1, parts))
     else:
         from dataclasses import asdict
 
@@ -265,6 +322,7 @@ def run_sample_hold_montecarlo(
             "tolerances": asdict(tolerances),
             "seed": seed,
             "chunks": len(batches),
+            "engine": engine,
         }
         done: dict = {}
         if resume_from is not None:
@@ -278,9 +336,12 @@ def run_sample_hold_montecarlo(
         wave = max(1, parts)
         for start in range(0, len(pending), wave):
             indices = pending[start : start + wave]
-            fresh = parallel_map(
-                _evaluate_boards, [batches[i] for i in indices], max_workers=wave
-            )
+            if engine == "fleet":
+                fresh = [_evaluate_boards_fleet(batches[i]) for i in indices]
+            else:
+                fresh = parallel_map(
+                    _evaluate_boards, [batches[i] for i in indices], max_workers=wave
+                )
             done.update(zip(indices, fresh))
             if checkpoint_path is not None:
                 save_checkpoint(

@@ -88,6 +88,7 @@ def _cmd_montecarlo(args) -> str:
             boards=args.boards,
             checkpoint_path=args.checkpoint,
             resume_from=args.resume,
+            engine=args.engine,
         )
     )
 
@@ -114,6 +115,7 @@ def _cmd_resilience(args) -> str:
         seed=args.seed,
         checkpoint_path=args.checkpoint,
         resume_from=args.resume,
+        engine=args.engine,
     )
     return resilience.render(report)
 
@@ -246,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--seed", type=int, default=4)
             p.add_argument("--checkpoint-every", type=float, default=None,
                            help="simulated seconds between checkpoint writes")
+        if name in ("resilience", "montecarlo"):
+            p.add_argument("--engine", choices=("fleet", "scalar"), default="fleet",
+                           help="vectorized fleet engine (default) or scalar walk")
         if name in ("endurance", "resilience", "montecarlo"):
             p.add_argument("--checkpoint", default=None, metavar="PATH",
                            help="write crash-safe progress checkpoints to PATH")

@@ -17,7 +17,7 @@ from typing import Callable, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.ckpt.checkpoint import check_spec_match, load_checkpoint, save_checkpoint
-from repro.errors import StateFormatError
+from repro.errors import ModelParameterError, StateFormatError
 from repro.converter.buck_boost import BuckBoostConverter
 from repro.core.config import PlatformConfig
 from repro.core.system import SampleHoldMPPT
@@ -319,6 +319,100 @@ def _run_week_spec(spec: _WeekSpec) -> EnduranceResult:
     )
 
 
+def _run_weeks_fleet(
+    seeds: List[int],
+    storage_farads: float,
+    initial_voltage: float,
+    dt: float,
+    days: int = 7,
+) -> List[EnduranceResult]:
+    """One vectorized fleet advancing every seed's week in lockstep.
+
+    Builds the identical scalar objects :func:`_build_week` would (so
+    the parameters match bitwise), hands them to the fleet engine as one
+    population over the seeds axis, and keeps the same per-day
+    bookkeeping as :func:`run_week` — on arrays instead of one chain per
+    seed.
+    """
+    import numpy as np
+
+    from repro.sim.fleet import FleetMember, FleetSimulator
+
+    cell = am_1815()
+    members = []
+    for seed in seeds:
+        storage = Supercapacitor(
+            capacitance=storage_farads, rated_voltage=5.0, voltage=initial_voltage
+        )
+        scheduler = EnergyAwareScheduler(
+            node=SensorNode(payload_bytes=16),
+            storage=storage,
+            v_survival=2.3,
+            v_comfort=4.2,
+            min_period=30.0,
+            max_period=3600.0,
+        )
+        controller = SampleHoldMPPT(
+            config=PlatformConfig.trimmed_for_cell(cell), assume_started=True
+        )
+        precomputed = precompute_conditions(cell, weekly_office(seed=seed), days * DAY, dt)
+        members.append(
+            FleetMember(
+                controller=controller,
+                precomputed=precomputed,
+                converter=BuckBoostConverter(),
+                storage=storage,
+                load=scheduler,
+            )
+        )
+
+    fleet = FleetSimulator(members)
+    n = len(seeds)
+    steps_per_day = int(DAY / dt)
+    total_steps = days * steps_per_day
+    day_lists: List[List[DaySummary]] = [[] for _ in range(n)]
+    harvested_before = fleet.energy_delivered
+    consumed_before = fleet.energy_load
+    reports_before = fleet.reports_sent
+    voltages = fleet.storage_voltages
+    min_v = voltages
+    hibernated = np.zeros(n, dtype=bool)
+    for step in range(1, total_steps + 1):
+        fleet.step()
+        voltages = fleet.storage_voltages
+        min_v = np.minimum(min_v, voltages)
+        hibernated |= fleet.hibernating
+        if step % steps_per_day == 0:
+            delivered = fleet.energy_delivered
+            load = fleet.energy_load
+            reports = fleet.reports_sent
+            for j in range(n):
+                day_lists[j].append(
+                    DaySummary(
+                        day=step // steps_per_day - 1,
+                        harvested_j=float(delivered[j] - harvested_before[j]),
+                        consumed_j=float(load[j] - consumed_before[j]),
+                        reports=int(reports[j] - reports_before[j]),
+                        store_end_v=float(voltages[j]),
+                        min_store_v=float(min_v[j]),
+                        hibernated=bool(hibernated[j]),
+                    )
+                )
+            harvested_before, consumed_before, reports_before = delivered, load, reports
+            min_v = voltages.copy()
+            hibernated = np.zeros(n, dtype=bool)
+    final_reports = fleet.reports_sent
+    return [
+        EnduranceResult(
+            days=day_lists[j],
+            initial_voltage=initial_voltage,
+            final_voltage=float(voltages[j]),
+            total_reports=int(final_reports[j]),
+        )
+        for j in range(n)
+    ]
+
+
 def run_week_ensemble(
     seeds: List[int],
     storage_farads: float = 10.0,
@@ -328,25 +422,34 @@ def run_week_ensemble(
     max_workers: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    engine: str = "fleet",
 ) -> List[EnduranceResult]:
     """Run the endurance week over an ensemble of environment seeds.
 
-    Each seed is an independent week, so the ensemble fans out over the
-    process pool (:func:`repro.sim.parallel.parallel_map`); results come
-    back in seed order and match the serial path exactly.
+    Each seed is an independent week.  The default ``engine="fleet"``
+    advances every seed in lockstep through one vectorized
+    :class:`~repro.sim.fleet.FleetSimulator` (the seeds become a NumPy
+    population axis); ``engine="scalar"`` fans one scalar week per seed
+    over the process pool (:func:`repro.sim.parallel.parallel_map`).
+    Results come back in seed order either way and the engines agree to
+    solver tolerance.
 
     With ``checkpoint_path`` set, seeds run in pool-sized waves and the
     checkpoint is rewritten (atomically) after each wave with every
     completed seed's result; ``resume_from`` skips those seeds and
     recomputes only the remainder, returning results in the original
-    seed order.
+    seed order.  ``precompute`` affects only the scalar engine — the
+    fleet always consumes a precomputed condition trace.
     """
+    if engine not in ("fleet", "scalar"):
+        raise ModelParameterError(f"engine must be 'fleet' or 'scalar', got {engine!r}")
     ensemble_spec = {
         "experiment": "endurance-ensemble",
         "storage_farads": storage_farads,
         "initial_voltage": initial_voltage,
         "dt": dt,
         "precompute": precompute,
+        "engine": engine,
     }
     completed: dict = {}
     if resume_from is not None:
@@ -366,20 +469,24 @@ def run_week_ensemble(
             precompute=precompute,
         )
 
+    def run_batch(batch: List[int]) -> List[EnduranceResult]:
+        if not batch:
+            return []
+        if engine == "fleet":
+            return _run_weeks_fleet(batch, storage_farads, initial_voltage, dt)
+        return parallel_map(_run_week_spec, [make_spec(s) for s in batch],
+                            max_workers=max_workers)
+
     pending = [seed for seed in seeds if seed not in completed]
     if checkpoint_path is None:
-        fresh = parallel_map(_run_week_spec, [make_spec(s) for s in pending],
-                             max_workers=max_workers)
-        completed.update(zip(pending, fresh))
+        completed.update(zip(pending, run_batch(pending)))
     else:
         import os
 
         wave = max_workers if max_workers is not None else (os.cpu_count() or 1)
         for start in range(0, len(pending), wave):
             batch = pending[start : start + wave]
-            fresh = parallel_map(_run_week_spec, [make_spec(s) for s in batch],
-                                 max_workers=max_workers)
-            completed.update(zip(batch, fresh))
+            completed.update(zip(batch, run_batch(batch)))
             save_checkpoint(
                 checkpoint_path,
                 kind="endurance-ensemble",

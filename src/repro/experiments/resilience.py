@@ -33,7 +33,7 @@ from repro.ckpt.checkpoint import check_spec_match, load_checkpoint, save_checkp
 from repro.converter.buck_boost import BuckBoostConverter
 from repro.core.system import SampleHoldMPPT
 from repro.env.profiles import HOURS, ConstantProfile, LightProfile
-from repro.errors import FaultConfigError
+from repro.errors import FaultConfigError, ModelParameterError
 from repro.experiments.comparison import default_controllers, default_scenarios
 from repro.faults.components import (
     ConverterBrownoutFault,
@@ -45,6 +45,7 @@ from repro.faults.light import FlickerBurstFault, IrradianceRampFault, LightDrop
 from repro.faults.schedule import FaultSchedule
 from repro.pv.cells import PVCell, am_1815
 from repro.pv.thermal import CellThermalModel
+from repro.sim.fleet import FleetMember, FleetSimulator, fleet_supported
 from repro.sim.parallel import parallel_map
 from repro.sim.precompute import precompute_conditions
 from repro.sim.quasistatic import HarvestSummary, QuasiStaticSimulator
@@ -239,6 +240,7 @@ class _CampaignSpec:
     duration: float
     dt: float
     seed: int
+    engine: str = "scalar"
 
 
 def _run_campaign_scenario(spec: _CampaignSpec) -> List[ResilienceCell]:
@@ -262,13 +264,41 @@ def _run_campaign_scenario(spec: _CampaignSpec) -> List[ResilienceCell]:
         cell, environment, spec.duration, spec.dt, thermal=thermal
     )
 
-    results: List[ResilienceCell] = []
+    chains = []
     for technique_name in spec.techniques:
         controller = plan.wrap_controller(controller_factories[technique_name]())
         converter = plan.wrap_converter(BuckBoostConverter())
         storage = plan.wrap_storage(
             Supercapacitor(capacitance=25.0, rated_voltage=5.5, voltage=2.7)
         )
+        chains.append((technique_name, controller, converter, storage))
+
+    summaries: Dict[str, HarvestSummary] = {}
+    fleet_group = []
+    if spec.engine == "fleet":
+        fleet_group = [
+            chain for chain in chains if fleet_supported(chain[1], chain[2], chain[3])
+        ]
+    if fleet_group:
+        fleet = FleetSimulator(
+            [
+                FleetMember(
+                    controller=controller,
+                    precomputed=precomputed,
+                    converter=converter,
+                    storage=storage,
+                    supply_voltage=3.0,
+                )
+                for _, controller, converter, storage in fleet_group
+            ]
+        )
+        fleet.run()
+        for (technique_name, _, _, _), summary in zip(fleet_group, fleet.summaries()):
+            summaries[technique_name] = summary
+
+    for technique_name, controller, converter, storage in chains:
+        if technique_name in summaries:
+            continue
         sim = QuasiStaticSimulator(
             cell,
             controller,
@@ -279,16 +309,17 @@ def _run_campaign_scenario(spec: _CampaignSpec) -> List[ResilienceCell]:
             record=False,
             precomputed=precomputed,
         )
-        summary = sim.run(spec.duration, dt=spec.dt)
-        results.append(
-            ResilienceCell(
-                campaign=spec.campaign,
-                technique=technique_name,
-                scenario=spec.scenario,
-                summary=summary,
-            )
+        summaries[technique_name] = sim.run(spec.duration, dt=spec.dt)
+
+    return [
+        ResilienceCell(
+            campaign=spec.campaign,
+            technique=technique_name,
+            scenario=spec.scenario,
+            summary=summaries[technique_name],
         )
-    return results
+        for technique_name in spec.techniques
+    ]
 
 
 # --- recovery after a dropout ------------------------------------------------------
@@ -556,6 +587,7 @@ def run_resilience(
     max_workers: int | None = None,
     checkpoint_path: str | None = None,
     resume_from: str | None = None,
+    engine: str = "fleet",
 ) -> ResilienceReport:
     """Run the comparison under every requested fault campaign.
 
@@ -581,7 +613,18 @@ def run_resilience(
         resume_from: checkpoint to resume; completed batches are reused
             verbatim (each batch is deterministic in the spec, so the
             report is identical to an uninterrupted run).
+        engine: ``"fleet"`` (default) steps every fleet-supported
+            technique of a batch in lockstep through one vectorized
+            :class:`repro.sim.fleet.FleetSimulator`; unsupported
+            techniques fall back to the scalar walk.  ``"scalar"``
+            forces the per-technique :class:`QuasiStaticSimulator`
+            path (bit-identical to the E8 comparison on the clean
+            campaign).
     """
+    if engine not in ("fleet", "scalar"):
+        raise ModelParameterError(
+            f"unknown engine {engine!r}; expected 'fleet' or 'scalar'"
+        )
     cell = cell if cell is not None else am_1815()
     selected_techniques = (
         list(techniques) if techniques is not None else list(default_controllers(cell))
@@ -610,6 +653,7 @@ def run_resilience(
             duration=duration,
             dt=dt,
             seed=seed,
+            engine=engine,
         )
         for campaign in selected_campaigns
         for scenario in selected_scenarios
@@ -626,6 +670,7 @@ def run_resilience(
         "seed": seed,
         "include_recovery": include_recovery,
         "include_coldstart": include_coldstart,
+        "engine": engine,
     }
     done: Dict[str, List[ResilienceCell]] = {}
     cached_recovery: Optional[List[RecoveryResult]] = None

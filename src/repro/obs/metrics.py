@@ -301,6 +301,9 @@ class Hooks:
       ``parallel_stalls`` — hardened-runner events: per-spec retries,
       poison specs quarantined after exhausting retries, and heartbeat
       watchdog stall detections (:mod:`repro.sim.parallel`).
+    * ``fleet_nodes`` / ``fleet_steps`` — population sizes taken on by
+      the vectorized fleet engine and node-steps it advanced
+      (:mod:`repro.sim.fleet`).
     """
 
     __slots__ = (
@@ -323,6 +326,8 @@ class Hooks:
         "parallel_retries",
         "parallel_quarantines",
         "parallel_stalls",
+        "fleet_nodes",
+        "fleet_steps",
     )
 
     def __init__(self):
@@ -377,6 +382,8 @@ _HOOK_INSTRUMENTS = {
         "parallel.heartbeat_stalls",
         "workers declared hung by the heartbeat watchdog",
     ),
+    "fleet_nodes": ("fleet.nodes", "nodes taken on by vectorized fleet runs"),
+    "fleet_steps": ("fleet.steps", "node-steps advanced by the fleet engine"),
 }
 
 

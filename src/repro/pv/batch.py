@@ -304,6 +304,89 @@ def solve_models(
     return BatchSolveResult(voc=voc, isc=isc, v_mpp=v_mpp, i_mpp=i_mpp, p_mpp=p_mpp)
 
 
+def stack_model_params(models: Sequence[SingleDiodeModel]) -> _ParamArrays:
+    """Public population-axis param stacking (one row per model).
+
+    The fleet engine (:mod:`repro.sim.fleet`) extracts each node's
+    per-step single-diode parameters once up front and then evaluates
+    whole populations through :func:`batch_current_at` /
+    :func:`batch_loaded_point` — the same arrays the batch solver uses
+    internally.
+    """
+    return _stack_params(models)
+
+
+def take_params(p: _ParamArrays, index: np.ndarray) -> _ParamArrays:
+    """Gather rows of a parameter stack (boolean mask or fancy index)."""
+    return _ParamArrays(
+        iph=p.iph[index], i0=p.i0[index], a=p.a[index], rs=p.rs[index], rsh=p.rsh[index]
+    )
+
+
+def batch_current_at(p: _ParamArrays, v: np.ndarray) -> np.ndarray:
+    """Elementwise terminal current for (condition j, voltage v[j]) pairs.
+
+    Public wrapper of the kernel behind the batch Lambert-W solver,
+    exposed for population-axis consumers.
+    """
+    return _batch_current_at(p, np.asarray(v, dtype=float))
+
+
+def batch_loaded_point(
+    p: _ParamArrays,
+    voc: np.ndarray,
+    load_resistance: np.ndarray,
+    iterations: int = 80,
+) -> np.ndarray:
+    """Operating voltage of each cell loaded by a resistor to ground.
+
+    Solves ``I_cell(v) = v / R_load`` per element by bisection on
+    ``[0, voc]``.  ``f(v) = I_cell(v) - v/R`` is strictly decreasing
+    (the diode curve's current falls with voltage, the load line rises),
+    positive at 0 (``isc``) and negative at ``voc``, so the root is
+    unique; 80 halvings of a <6 V bracket converge to well below one
+    ulp, matching the scalar MNA Newton solve used by
+    :meth:`repro.core.sample_hold.SampleHoldCircuit.loaded_sample_point`
+    to ~1e-12 V.
+
+    Dark elements (``voc <= 0`` or ``iph <= 0``) return 0.
+
+    Args:
+        p: stacked parameters, one row per element.
+        voc: open-circuit voltage per element (bracket top).
+        load_resistance: load-to-ground resistance per element, ohms.
+        iterations: bisection halvings.
+
+    Returns:
+        The loaded terminal voltage per element, volts.
+    """
+    voc = np.asarray(voc, dtype=float)
+    r = np.broadcast_to(np.asarray(load_resistance, dtype=float), voc.shape)
+    active = (voc > 0.0) & (p.iph > 0.0)
+    if not np.any(active):
+        return np.zeros_like(voc)
+
+    pa = _take(p, active)
+    r_a = r[active]
+    lo = np.zeros(int(np.count_nonzero(active)))
+    hi = voc[active].copy()
+    solves = _OBS.batch_solves
+    if solves is not None:
+        solves.inc()
+        conditions = _OBS.batch_conditions
+        if conditions is not None:
+            conditions.inc(len(lo))
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        f = _batch_current_at(pa, mid) - mid / r_a
+        above = f > 0.0
+        lo = np.where(above, mid, lo)
+        hi = np.where(above, hi, mid)
+    out = np.zeros_like(voc)
+    out[active] = 0.5 * (lo + hi)
+    return out
+
+
 def batch_mpp(
     cell,
     lux_levels: Sequence[float],

@@ -16,8 +16,9 @@ that behave like named time series with numpy views.
 Performance layers: :mod:`repro.sim.precompute` solves a whole run's
 conditions once for sharing across controllers,
 :mod:`repro.sim.parallel` fans independent runs over a process pool,
-and :mod:`repro.sim.telemetry` keeps the ``BENCH_perf.json`` wall-time
-ledger.
+:mod:`repro.sim.fleet` steps whole populations of nodes in lockstep
+NumPy, and :mod:`repro.sim.telemetry` keeps the ``BENCH_perf.json``
+wall-time ledger.
 """
 
 from repro.sim.traces import Trace, TraceSet
@@ -27,6 +28,20 @@ from repro.sim.quasistatic import QuasiStaticSimulator, StepResult, HarvestSumma
 from repro.sim.precompute import PrecomputedConditions, precompute_conditions
 from repro.sim.parallel import parallel_map, scatter, default_worker_count
 from repro.sim.telemetry import PerfSample, measure, record_perf, load_ledger, latest
+
+_FLEET_EXPORTS = ("FleetMember", "FleetSimulator", "fleet_supported")
+
+
+def __getattr__(name):
+    # repro.sim.fleet builds members from the scalar objects, so it
+    # imports repro.core.system — which itself imports this package via
+    # repro.sim.quasistatic.  Resolve the fleet symbols lazily to keep
+    # the import graph acyclic.
+    if name in _FLEET_EXPORTS:
+        from repro.sim import fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Trace",
@@ -42,6 +57,9 @@ __all__ = [
     "parallel_map",
     "scatter",
     "default_worker_count",
+    "FleetMember",
+    "FleetSimulator",
+    "fleet_supported",
     "PerfSample",
     "measure",
     "record_perf",

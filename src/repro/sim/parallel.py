@@ -728,6 +728,14 @@ def scatter(items: Sequence[T], parts: int) -> List[Sequence[T]]:
 
     Useful for workloads whose per-item cost is tiny (Monte Carlo
     boards): parallelise over chunks, keep per-item order inside each.
+
+    Guarantees:
+
+    * every returned chunk is non-empty — asking for more chunks than
+      there are items yields ``len(items)`` singleton chunks, and an
+      empty input yields no chunks at all;
+    * concatenating the chunks reproduces ``items`` exactly, whatever
+      ``parts`` is — chunking never drops, duplicates or reorders.
     """
     if parts < 1:
         raise ModelParameterError(f"parts must be >= 1, got {parts!r}")
@@ -739,7 +747,7 @@ def scatter(items: Sequence[T], parts: int) -> List[Sequence[T]]:
         size = n // parts + (1 if k < n % parts else 0)
         chunks.append(items[start : start + size])
         start += size
-    return chunks
+    return [chunk for chunk in chunks if len(chunk)]
 
 
 __all__ = [

@@ -102,12 +102,17 @@ class TestGoldenComparison:
 
         if update_golden:
             pytest.skip("golden fixtures being rewritten")
+        # Pinned to the scalar engine: the golden traces encode the
+        # scalar walk's exact bits.  The fleet engine is held to the
+        # scalar result separately (tests/unit/test_fleet.py,
+        # test_resilience.py) at a-few-ulp tolerance.
         report = run_resilience(
             duration=DURATION,
             dt=DT,
             campaigns=["clean"],
             include_recovery=False,
             include_coldstart=False,
+            engine="scalar",
         )
         for cell in report.cells:
             golden = json.loads(golden_path(cell.scenario).read_text())

@@ -69,7 +69,11 @@ class TestRunResilience:
         assert _cells_as_dicts(a) == _cells_as_dicts(b)
 
     def test_clean_campaign_matches_comparison_bitwise(self):
-        report = resilience.run_resilience(seed=0, campaigns=["clean"], **SHORT)
+        # Pinned to the scalar engine: this is the bit-for-bit contract
+        # against the E8 comparison path (which walks per technique).
+        report = resilience.run_resilience(
+            seed=0, campaigns=["clean"], engine="scalar", **SHORT
+        )
         comparison = run_comparison(
             duration=SHORT["duration"],
             dt=SHORT["dt"],
@@ -80,6 +84,29 @@ class TestRunResilience:
         for mine, ref in zip(report.cells, comparison):
             assert (mine.technique, mine.scenario) == (ref.technique, ref.scenario)
             assert mine.summary.__dict__ == ref.summary.__dict__
+
+    def test_fleet_engine_matches_scalar(self):
+        scalar = resilience.run_resilience(
+            seed=0, campaigns=["component-drift"], engine="scalar", **SHORT
+        )
+        fleet = resilience.run_resilience(
+            seed=0, campaigns=["component-drift"], engine="fleet", **SHORT
+        )
+        assert len(scalar.cells) == len(fleet.cells)
+        for mine, ref in zip(fleet.cells, scalar.cells):
+            assert (mine.campaign, mine.technique, mine.scenario) == (
+                ref.campaign, ref.technique, ref.scenario,
+            )
+            for name, value in ref.summary.__dict__.items():
+                assert getattr(mine.summary, name) == pytest.approx(
+                    value, rel=1e-12, abs=1e-18
+                )
+
+    def test_engine_validated(self):
+        from repro.errors import ModelParameterError
+
+        with pytest.raises(ModelParameterError):
+            resilience.run_resilience(engine="quantum", **SHORT)
 
     def test_clean_always_included_and_first(self):
         report = resilience.run_resilience(seed=0, campaigns=["light-dropout"], **SHORT)
