@@ -80,6 +80,58 @@ def test_perf_smoke(benchmark, save_result):
     )
 
 
+# Compiled-tier smoke: the same one-hour slice through the fused-kernel
+# + LUT engine.  The cold pass (program build: precompute, LUT fit and
+# validation, lane compilation, JIT when numba is present) is recorded
+# under its own ledger key and never floor-gated; the warm pass must
+# clear a floor an order of magnitude above the scalar gate.  The full
+# 215 k steps/s acceptance gate lives in bench_compiled_comparison.py
+# on the 24 h workload, where per-call overhead amortises out.
+COMPILED_SMOKE_FLOOR = 50_000.0
+
+
+def test_perf_smoke_compiled(save_result):
+    from repro.sim.compiled import HAVE_NUMBA, clear_program_cache
+
+    duration = 1.0 * HOURS
+    dt = 10.0
+    steps = 9 * 3 * int(duration / dt)
+    backend = "numba-jitted" if HAVE_NUMBA else "interpreted fallback"
+
+    clear_program_cache()
+    with measure("perf_smoke_compiled_1h_dt10_cold", steps=steps) as cold:
+        cold_results = comparison.run_comparison(
+            duration=duration, dt=dt, engine="compiled"
+        )
+    record_perf(cold, note=f"cold: program build ({backend})")
+
+    with measure("perf_smoke_compiled_1h_dt10", steps=steps) as warm:
+        results = comparison.run_comparison(
+            duration=duration, dt=dt, engine="compiled"
+        )
+    regression = check_throughput_regression(
+        warm, floor_fraction=REGRESSION_FLOOR_FRACTION
+    )
+    record_perf(warm, note=f"warm kernels ({backend})")
+    assert regression is None, regression
+
+    assert len(cold_results) == len(results) == 27
+    for a, b in zip(cold_results, results):
+        assert a.summary.energy_delivered == b.summary.energy_delivered
+
+    assert warm.steps_per_s > COMPILED_SMOKE_FLOOR, (
+        f"compiled tier smoke regressed: {warm.steps_per_s:.0f} steps/s "
+        f"< floor {COMPILED_SMOKE_FLOOR:.0f} ({backend})"
+    )
+    save_result(
+        "perf_smoke_compiled",
+        f"compiled perf smoke ({backend}): {steps} steps — "
+        f"cold {cold.wall_s:.3f} s ({cold.steps_per_s:.0f}/s), "
+        f"warm {warm.wall_s:.3f} s ({warm.steps_per_s:.0f}/s; "
+        f"floor {COMPILED_SMOKE_FLOOR:.0f})",
+    )
+
+
 # Instrumentation budget: enabled-vs-disabled wall time on the smoke
 # slice.  The hooks pattern costs one attribute load + None test per
 # site when disabled and the tracer samples ~16 steps per run when

@@ -24,6 +24,7 @@ from repro.analog.switch import AnalogSwitch, AnalogSwitchSpec
 from repro.core.sample_hold import SampleHoldCircuit
 from repro.errors import ModelParameterError
 from repro.pv.cells import PVCell, am_1815
+from repro.sim.engines import resolve_engine
 from repro.sim.parallel import parallel_map, scatter
 
 
@@ -261,12 +262,16 @@ def run_sample_hold_montecarlo(
             per board and fans chunks over the process pool.  Both
             consume the same draw matrix; they agree to solver tolerance
             (the fleet replaces the per-board MNA solve with a
-            vectorized bisection of the same load line).
+            vectorized bisection of the same load line).  ``"compiled"``
+            (and ``"auto"``) alias the fleet pass — the board kernel is
+            already a single vectorized shot with no per-step loop for
+            a fused kernel to collapse, so there is nothing further to
+            compile.
     """
     if boards < 1:
         raise ModelParameterError(f"boards must be >= 1, got {boards!r}")
-    if engine not in ("fleet", "scalar"):
-        raise ModelParameterError(f"engine must be 'fleet' or 'scalar', got {engine!r}")
+    engine = resolve_engine(engine, context="sample-hold montecarlo")
+    use_fleet = engine in ("fleet", "compiled")
     cell = cell if cell is not None else am_1815()
     model = cell.model_at(lux)
     voc = model.voc()
@@ -297,7 +302,7 @@ def run_sample_hold_montecarlo(
     ]
 
     if not checkpointing:
-        if engine == "fleet":
+        if use_fleet:
             chunks = [_evaluate_boards_fleet(batch) for batch in batches]
         else:
             chunks = parallel_map(_evaluate_boards, batches, max_workers=max(1, parts))
@@ -336,7 +341,7 @@ def run_sample_hold_montecarlo(
         wave = max(1, parts)
         for start in range(0, len(pending), wave):
             indices = pending[start : start + wave]
-            if engine == "fleet":
+            if use_fleet:
                 fresh = [_evaluate_boards_fleet(batches[i]) for i in indices]
             else:
                 fresh = parallel_map(

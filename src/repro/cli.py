@@ -102,7 +102,9 @@ def _cmd_spectra(args) -> str:
 def _cmd_comparison(args) -> str:
     from repro.experiments import comparison
 
-    results = comparison.run_comparison(duration=args.hours * 3600.0, dt=10.0)
+    results = comparison.run_comparison(
+        duration=args.hours * 3600.0, dt=10.0, engine=args.engine
+    )
     return comparison.render_quiescent() + "\n\n" + comparison.render(results)
 
 
@@ -236,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--lux", type=float, default=1000.0 if name == "fig4" else 200.0)
         if name == "comparison":
             p.add_argument("--hours", type=float, default=24.0)
+            p.add_argument("--engine", choices=("scalar", "fleet", "compiled", "auto"),
+                           default="scalar",
+                           help="engine tier: scalar reference (default), vectorized "
+                           "fleet, fused+LUT compiled, or auto (fastest)")
         if name == "resilience":
             p.add_argument("--hours", type=float, default=24.0)
             p.add_argument("--dt", type=float, default=60.0)
@@ -249,8 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--checkpoint-every", type=float, default=None,
                            help="simulated seconds between checkpoint writes")
         if name in ("resilience", "montecarlo"):
-            p.add_argument("--engine", choices=("fleet", "scalar"), default="fleet",
-                           help="vectorized fleet engine (default) or scalar walk")
+            p.add_argument("--engine", choices=("fleet", "scalar", "compiled", "auto"),
+                           default="fleet",
+                           help="vectorized fleet engine (default), scalar walk, "
+                           "fused+LUT compiled tier, or auto (fastest)")
         if name in ("endurance", "resilience", "montecarlo"):
             p.add_argument("--checkpoint", default=None, metavar="PATH",
                            help="write crash-safe progress checkpoints to PATH")

@@ -47,6 +47,18 @@ class NumericalGuardError(SimulationError):
         self.time = time
 
 
+class LUTValidationError(SimulationError):
+    """A power interpolation table failed its pre-run validation gate:
+    the worst-case error against exact solves exceeds the declared
+    budget (the table is undersized for the requested accuracy)."""
+
+    def __init__(self, message: str, max_rel_error: float = float("nan"),
+                 rel_budget: float = float("nan")):
+        super().__init__(message)
+        self.max_rel_error = max_rel_error
+        self.rel_budget = rel_budget
+
+
 class TraceError(ReproError, KeyError):
     """A requested signal trace does not exist or is malformed."""
 

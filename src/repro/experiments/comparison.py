@@ -42,6 +42,7 @@ from repro.env.profiles import HOURS
 from repro.env.scenarios import office_desk_24h, outdoor_day, semi_mobile_24h
 from repro.pv.cells import PVCell, am_1815
 from repro.pv.thermal import CellThermalModel
+from repro.sim.engines import resolve_engine
 from repro.sim.parallel import parallel_map
 from repro.sim.precompute import precompute_conditions
 from repro.sim.quasistatic import HarvestSummary, QuasiStaticSimulator
@@ -125,6 +126,36 @@ class _ScenarioSpec:
     use_storage: bool
     use_thermal: bool
     precompute: bool
+    engine: str = "scalar"
+
+
+def _fresh_storage(spec: _ScenarioSpec):
+    return (
+        Supercapacitor(capacitance=25.0, rated_voltage=5.5, voltage=2.7)
+        if spec.use_storage
+        else None
+    )
+
+
+def _run_scalar_lane(spec, cell, scenario_factory, technique_name, controller, precomputed):
+    """One technique through the scalar reference engine."""
+    thermal = (
+        CellThermalModel(area_cm2=cell.parameters.area_cm2)
+        if spec.use_thermal and precomputed is None
+        else None
+    )
+    sim = QuasiStaticSimulator(
+        cell,
+        controller,
+        scenario_factory(),
+        converter=BuckBoostConverter(),
+        storage=_fresh_storage(spec),
+        thermal=thermal,
+        supply_voltage=3.0,
+        record=False,
+        precomputed=precomputed,
+    )
+    return sim.run(spec.duration, dt=spec.dt)
 
 
 def _run_scenario(spec: _ScenarioSpec) -> List[ComparisonCell]:
@@ -135,13 +166,25 @@ def _run_scenario(spec: _ScenarioSpec) -> List[ComparisonCell]:
     so it is computed once and shared; each controller then replays it
     against its own storage/converter state.  This is the serial *and*
     the per-worker parallel code path.
+
+    Engine tiers: ``scalar`` steps each lane through
+    :class:`QuasiStaticSimulator`; ``compiled`` fuses each lane into
+    :func:`repro.sim.compiled.run_comparison_scenario`'s kernel (lanes
+    the compiled tier declines fall back to the scalar engine over the
+    same precomputed conditions); ``fleet`` batches the S&H platform
+    lanes through :class:`~repro.sim.fleet.FleetSimulator` and runs the
+    rest scalar.  The non-scalar tiers always precompute conditions —
+    their shared tables are built from them.
     """
     cell = spec.cell
     controller_factories = default_controllers(cell)
     scenario_factory = default_scenarios()[spec.scenario]
 
+    if spec.engine == "compiled":
+        return _run_scenario_compiled(spec, cell, controller_factories, scenario_factory)
+
     precomputed = None
-    if spec.precompute:
+    if spec.precompute or spec.engine == "fleet":
         thermal = (
             CellThermalModel(area_cm2=cell.parameters.area_cm2) if spec.use_thermal else None
         )
@@ -149,37 +192,89 @@ def _run_scenario(spec: _ScenarioSpec) -> List[ComparisonCell]:
             cell, scenario_factory(), spec.duration, spec.dt, thermal=thermal
         )
 
+    if spec.engine == "fleet":
+        return _run_scenario_fleet(spec, cell, controller_factories, scenario_factory, precomputed)
+
     results: List[ComparisonCell] = []
     with TRACER.span(f"scenario:{spec.scenario}"):
         for technique_name in spec.techniques:
-            environment = scenario_factory()
             controller = controller_factories[technique_name]()
-            storage = (
-                Supercapacitor(capacitance=25.0, rated_voltage=5.5, voltage=2.7)
-                if spec.use_storage
-                else None
+            summary = _run_scalar_lane(
+                spec, cell, scenario_factory, technique_name, controller, precomputed
             )
-            thermal = (
-                CellThermalModel(area_cm2=cell.parameters.area_cm2)
-                if spec.use_thermal and precomputed is None
-                else None
-            )
-            sim = QuasiStaticSimulator(
-                cell,
-                controller,
-                environment,
-                converter=BuckBoostConverter(),
-                storage=storage,
-                thermal=thermal,
-                supply_voltage=3.0,
-                record=False,
-                precomputed=precomputed,
-            )
-            summary = sim.run(spec.duration, dt=spec.dt)
             results.append(
                 ComparisonCell(technique=technique_name, scenario=spec.scenario, summary=summary)
             )
     return results
+
+
+def _run_scenario_compiled(spec, cell, controller_factories, scenario_factory):
+    """Compiled tier: every lane through the fused kernel, scalar fallback."""
+    from repro.sim.compiled import run_comparison_scenario
+
+    lanes = [
+        (name, controller_factories[name](), BuckBoostConverter(), _fresh_storage(spec))
+        for name in spec.techniques
+    ]
+    results: List[ComparisonCell] = []
+    with TRACER.span(f"scenario:{spec.scenario}"):
+        compiled_out, precomputed = run_comparison_scenario(
+            cell,
+            spec.scenario,
+            scenario_factory,
+            lanes,
+            spec.duration,
+            spec.dt,
+            use_thermal=spec.use_thermal,
+            supply_voltage=3.0,
+        )
+        for technique_name in spec.techniques:
+            summary = compiled_out.get(technique_name)
+            if summary is None:
+                controller = controller_factories[technique_name]()
+                summary = _run_scalar_lane(
+                    spec, cell, scenario_factory, technique_name, controller, precomputed
+                )
+            results.append(
+                ComparisonCell(technique=technique_name, scenario=spec.scenario, summary=summary)
+            )
+    return results
+
+
+def _run_scenario_fleet(spec, cell, controller_factories, scenario_factory, precomputed):
+    """Fleet tier: S&H lanes batched through the array engine, rest scalar."""
+    from repro.sim.fleet import FleetMember, FleetSimulator, fleet_supported
+
+    results: dict = {}
+    fleet_lanes = []
+    with TRACER.span(f"scenario:{spec.scenario}"):
+        for technique_name in spec.techniques:
+            controller = controller_factories[technique_name]()
+            converter = BuckBoostConverter()
+            storage = _fresh_storage(spec)
+            if fleet_supported(controller, converter, storage, None):
+                fleet_lanes.append((technique_name, controller, converter, storage))
+            else:
+                results[technique_name] = _run_scalar_lane(
+                    spec, cell, scenario_factory, technique_name, controller, precomputed
+                )
+        if fleet_lanes:
+            members = [
+                FleetMember(
+                    controller=c,
+                    precomputed=precomputed,
+                    converter=cv,
+                    storage=st,
+                    supply_voltage=3.0,
+                )
+                for (_, c, cv, st) in fleet_lanes
+            ]
+            for (name, *_), summary in zip(fleet_lanes, FleetSimulator(members).run()):
+                results[name] = summary
+    return [
+        ComparisonCell(technique=name, scenario=spec.scenario, summary=results[name])
+        for name in spec.techniques
+    ]
 
 
 def run_comparison(
@@ -193,6 +288,7 @@ def run_comparison(
     precompute: bool = True,
     parallel: bool = False,
     max_workers: int | None = None,
+    engine: str = "scalar",
 ) -> List[ComparisonCell]:
     """Run every technique through every scenario.
 
@@ -214,7 +310,13 @@ def run_comparison(
             (:mod:`repro.sim.parallel`); results are identical to the
             serial path and come back in the same order.
         max_workers: pool size when ``parallel`` (None: one per CPU).
+        engine: ``"scalar"`` (the bitwise reference — golden traces
+            encode its bits), ``"fleet"`` (S&H lanes batched through the
+            array engine, rest scalar), ``"compiled"`` (fused kernels
+            over a validated power LUT — fastest, matches scalar within
+            the table's declared error budget), or ``"auto"``.
     """
+    engine = resolve_engine(engine, context="comparison")
     cell = cell if cell is not None else am_1815()
     controller_factories = default_controllers(cell)
     scenario_factories = default_scenarios()
@@ -231,6 +333,7 @@ def run_comparison(
             use_storage=use_storage,
             use_thermal=use_thermal,
             precompute=precompute,
+            engine=engine,
         )
         for scenario_name in selected_scenarios
     ]

@@ -26,6 +26,7 @@ from repro.env.scenarios import weekly_office
 from repro.node.scheduler import EnergyAwareScheduler
 from repro.node.sensor_node import SensorNode
 from repro.pv.cells import PVCell, am_1815
+from repro.sim.engines import resolve_engine
 from repro.sim.parallel import parallel_map
 from repro.sim.precompute import precompute_conditions
 from repro.sim.quasistatic import QuasiStaticSimulator
@@ -325,6 +326,7 @@ def _run_weeks_fleet(
     initial_voltage: float,
     dt: float,
     days: int = 7,
+    engine: str = "fleet",
 ) -> List[EnduranceResult]:
     """One vectorized fleet advancing every seed's week in lockstep.
 
@@ -332,11 +334,13 @@ def _run_weeks_fleet(
     the parameters match bitwise), hands them to the fleet engine as one
     population over the seeds axis, and keeps the same per-day
     bookkeeping as :func:`run_week` — on arrays instead of one chain per
-    seed.
+    seed.  ``engine="compiled"`` swaps in the LUT-accelerated
+    :class:`~repro.sim.compiled.CompiledFleetSimulator`.
     """
     import numpy as np
 
-    from repro.sim.fleet import FleetMember, FleetSimulator
+    from repro.sim.engines import fleet_class
+    from repro.sim.fleet import FleetMember
 
     cell = am_1815()
     members = []
@@ -366,7 +370,7 @@ def _run_weeks_fleet(
             )
         )
 
-    fleet = FleetSimulator(members)
+    fleet = fleet_class(engine)(members)
     n = len(seeds)
     steps_per_day = int(DAY / dt)
     total_steps = days * steps_per_day
@@ -429,10 +433,13 @@ def run_week_ensemble(
     Each seed is an independent week.  The default ``engine="fleet"``
     advances every seed in lockstep through one vectorized
     :class:`~repro.sim.fleet.FleetSimulator` (the seeds become a NumPy
-    population axis); ``engine="scalar"`` fans one scalar week per seed
+    population axis); ``engine="compiled"`` (and ``"auto"``) does the
+    same through the LUT-accelerated fused kernel;
+    ``engine="scalar"`` fans one scalar week per seed
     over the process pool (:func:`repro.sim.parallel.parallel_map`).
-    Results come back in seed order either way and the engines agree to
-    solver tolerance.
+    Results come back in seed order either way; fleet agrees with
+    scalar to solver tolerance, compiled within the LUT's declared
+    error budget.
 
     With ``checkpoint_path`` set, seeds run in pool-sized waves and the
     checkpoint is rewritten (atomically) after each wave with every
@@ -441,8 +448,7 @@ def run_week_ensemble(
     seed order.  ``precompute`` affects only the scalar engine — the
     fleet always consumes a precomputed condition trace.
     """
-    if engine not in ("fleet", "scalar"):
-        raise ModelParameterError(f"engine must be 'fleet' or 'scalar', got {engine!r}")
+    engine = resolve_engine(engine, context="endurance ensemble")
     ensemble_spec = {
         "experiment": "endurance-ensemble",
         "storage_farads": storage_farads,
@@ -472,8 +478,10 @@ def run_week_ensemble(
     def run_batch(batch: List[int]) -> List[EnduranceResult]:
         if not batch:
             return []
-        if engine == "fleet":
-            return _run_weeks_fleet(batch, storage_farads, initial_voltage, dt)
+        if engine in ("fleet", "compiled"):
+            return _run_weeks_fleet(
+                batch, storage_farads, initial_voltage, dt, engine=engine
+            )
         return parallel_map(_run_week_spec, [make_spec(s) for s in batch],
                             max_workers=max_workers)
 

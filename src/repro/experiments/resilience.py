@@ -45,6 +45,7 @@ from repro.faults.light import FlickerBurstFault, IrradianceRampFault, LightDrop
 from repro.faults.schedule import FaultSchedule
 from repro.pv.cells import PVCell, am_1815
 from repro.pv.thermal import CellThermalModel
+from repro.sim.engines import fleet_class, resolve_engine
 from repro.sim.fleet import FleetMember, FleetSimulator, fleet_supported
 from repro.sim.parallel import parallel_map
 from repro.sim.precompute import precompute_conditions
@@ -275,12 +276,12 @@ def _run_campaign_scenario(spec: _CampaignSpec) -> List[ResilienceCell]:
 
     summaries: Dict[str, HarvestSummary] = {}
     fleet_group = []
-    if spec.engine == "fleet":
+    if spec.engine in ("fleet", "compiled"):
         fleet_group = [
             chain for chain in chains if fleet_supported(chain[1], chain[2], chain[3])
         ]
     if fleet_group:
-        fleet = FleetSimulator(
+        fleet = fleet_class(spec.engine)(
             [
                 FleetMember(
                     controller=controller,
@@ -616,15 +617,16 @@ def run_resilience(
         engine: ``"fleet"`` (default) steps every fleet-supported
             technique of a batch in lockstep through one vectorized
             :class:`repro.sim.fleet.FleetSimulator`; unsupported
-            techniques fall back to the scalar walk.  ``"scalar"``
-            forces the per-technique :class:`QuasiStaticSimulator`
-            path (bit-identical to the E8 comparison on the clean
-            campaign).
+            techniques fall back to the scalar walk.  ``"compiled"``
+            does the same through the LUT-accelerated
+            :class:`repro.sim.compiled.CompiledFleetSimulator` (matches
+            fleet within the table's declared error budget).
+            ``"scalar"`` forces the per-technique
+            :class:`QuasiStaticSimulator` path (bit-identical to the E8
+            comparison on the clean campaign).  ``"auto"`` picks the
+            fastest tier.
     """
-    if engine not in ("fleet", "scalar"):
-        raise ModelParameterError(
-            f"unknown engine {engine!r}; expected 'fleet' or 'scalar'"
-        )
+    engine = resolve_engine(engine, context="resilience")
     cell = cell if cell is not None else am_1815()
     selected_techniques = (
         list(techniques) if techniques is not None else list(default_controllers(cell))

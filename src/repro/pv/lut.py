@@ -1,0 +1,260 @@
+"""Precomputed P(V) interpolation tables for the compiled engine tier.
+
+The scalar and fleet engines evaluate the single-diode curve through
+:func:`repro.pv.single_diode.lambertw_of_exp` — exact, but it is the
+one transcendental left on the hot path once conditions are
+precomputed.  This module trades it for a table lookup: one row per
+unique (lux, temperature) condition of a run, each row holding the
+harvested power ``P(V) = max(0, V * I(V))`` on a knee-clustered voltage
+grid, built in a single vectorized pass over the existing batch solver
+(:func:`repro.pv.batch.batch_current_at`).
+
+Grid design.  P(V) is nearly linear at low voltage and bends hard at
+the knee just below Voc, so uniform grids waste points where the curve
+is flat.  The grid is therefore clustered toward Voc with the quadratic
+map ``x = 1 - (1 - u)**2`` (``u`` uniform in [0, 1], ``x`` the fraction
+of Voc); the inverse ``u = 1 - sqrt(1 - x)`` is closed-form, so lookup
+stays O(1) with no search.  Interpolation is linear in ``u``.
+
+Error contract.  Every table carries a *declared* relative error
+budget (:attr:`CellPowerLUT.rel_budget`, relative to each condition's
+table-maximum power with an absolute floor).  :meth:`CellPowerLUT.validate`
+is the pre-run gate: it evaluates exact solves at the interpolation
+intervals' midpoints — the worst case for a piecewise-linear table —
+and raises :class:`~repro.errors.LUTValidationError` if the measured
+worst-case error exceeds the budget.  Engines run the gate before
+trusting a table; the property suite (``tests/property/test_lut.py``)
+stresses the same bound across the fitted parameter space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import LUTValidationError, ModelParameterError
+from repro.pv.batch import batch_current_at, solve_models, stack_model_params, take_params
+
+DEFAULT_GRID_POINTS = 129
+"""Default voltage nodes per condition (measured worst case ~2e-4 rel)."""
+
+DEFAULT_REL_BUDGET = 1e-3
+"""Default declared relative error budget (vs per-condition max power)."""
+
+DEFAULT_ABS_FLOOR = 1e-9
+"""Absolute error-scale floor, watts — keeps dark rows from dividing by ~0."""
+
+
+@dataclass(frozen=True)
+class LUTValidationReport:
+    """Outcome of one validation pass against exact solves.
+
+    Attributes:
+        grid_points: voltage nodes per condition row.
+        conditions: rows in the table.
+        conditions_checked: rows actually sampled by the gate.
+        samples: exact solves evaluated.
+        max_abs_error: worst |P_lut - P_exact|, watts.
+        max_rel_error: worst error relative to the row's power scale.
+        rel_budget: the declared budget the gate enforced.
+    """
+
+    grid_points: int
+    conditions: int
+    conditions_checked: int
+    samples: int
+    max_abs_error: float
+    max_rel_error: float
+    rel_budget: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the measured worst case is within the declared budget."""
+        return self.max_rel_error <= self.rel_budget
+
+
+class CellPowerLUT:
+    """Per-condition harvested-power lookup tables.
+
+    Args:
+        params: stacked five-parameter arrays for the unique conditions
+            (:func:`repro.pv.batch.stack_model_params` output).
+        voc: per-condition open-circuit voltage, volts.
+        grid_points: voltage nodes per row (>= 8).
+        rel_budget: declared relative error budget.
+        abs_floor: absolute error-scale floor, watts.
+    """
+
+    def __init__(
+        self,
+        params,
+        voc: np.ndarray,
+        *,
+        grid_points: int = DEFAULT_GRID_POINTS,
+        rel_budget: float = DEFAULT_REL_BUDGET,
+        abs_floor: float = DEFAULT_ABS_FLOOR,
+    ):
+        if int(grid_points) != grid_points or grid_points < 8:
+            raise ModelParameterError(
+                f"grid_points must be an integer >= 8, got {grid_points!r}"
+            )
+        if not (rel_budget > 0.0):
+            raise ModelParameterError(f"rel_budget must be positive, got {rel_budget!r}")
+        if abs_floor < 0.0:
+            raise ModelParameterError(f"abs_floor must be >= 0, got {abs_floor!r}")
+        self.params = params
+        self.voc = np.ascontiguousarray(np.asarray(voc, dtype=float))
+        self.grid_points = int(grid_points)
+        self.rel_budget = float(rel_budget)
+        self.abs_floor = float(abs_floor)
+
+        u = np.linspace(0.0, 1.0, self.grid_points)
+        self._x_grid = 1.0 - (1.0 - u) ** 2  # fraction of Voc per node
+        volts = self.voc[:, None] * self._x_grid[None, :]
+        conditions = len(self.voc)
+        tiled = self._tile_params(conditions, self.grid_points)
+        current = batch_current_at(tiled, volts.ravel())
+        power = np.maximum(0.0, volts.ravel() * current)
+        self.power_table = np.ascontiguousarray(power.reshape(conditions, self.grid_points))
+        # Rows whose Voc is zero (dark conditions) are all-zero by
+        # construction (V = 0 everywhere); force exact zeros anyway so
+        # NaNs from degenerate solves cannot leak into the table.
+        dark = self.voc <= 0.0
+        if dark.any():
+            self.power_table[dark] = 0.0
+        self.scale = np.maximum(self.power_table.max(axis=1), self.abs_floor)
+        self._flat = self.power_table.ravel()
+
+    # --- construction helpers ----------------------------------------------
+
+    def _tile_params(self, conditions: int, repeat: int):
+        cls = type(self.params)
+        fields = ("iph", "i0", "a", "rs", "rsh")
+        return cls(*[np.repeat(getattr(self.params, f), repeat) for f in fields])
+
+    @classmethod
+    def from_models(
+        cls,
+        models: Sequence[object],
+        *,
+        voc: Optional[np.ndarray] = None,
+        **kwargs,
+    ) -> "CellPowerLUT":
+        """Build a table from model instances (one row per model).
+
+        Models already solved by :func:`repro.pv.batch.solve_models`
+        reuse their memoised Voc; unsolved models are batch-solved here.
+        """
+        models = list(models)
+        if voc is None:
+            solved = solve_models(models, memoize=True)
+            voc = solved.voc
+        return cls(stack_model_params(models), np.asarray(voc, dtype=float), **kwargs)
+
+    # --- evaluation ---------------------------------------------------------
+
+    def power(self, index: int, v: float) -> float:
+        """Interpolated harvested power for one condition, watts.
+
+        Zero outside (0, Voc) — matching every controller's own Voc
+        gate.  The arithmetic here is the scalar twin of
+        :meth:`power_many` (and of the compiled kernels), bit-for-bit.
+        """
+        voc = self._flat_voc(index)
+        if v <= 0.0 or voc <= 0.0 or v >= voc:
+            return 0.0
+        x = v / voc
+        u = 1.0 - math.sqrt(1.0 - x)
+        f = u * (self.grid_points - 1)
+        k = int(f)
+        if k > self.grid_points - 2:
+            k = self.grid_points - 2
+        w = f - k
+        base = index * self.grid_points + k
+        p0 = self._flat[base]
+        p1 = self._flat[base + 1]
+        return float(p0 + (p1 - p0) * w)
+
+    def _flat_voc(self, index: int) -> float:
+        return float(self.voc[index])
+
+    def power_many(self, indices: np.ndarray, volts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power` over (condition index, voltage) pairs."""
+        indices = np.asarray(indices, dtype=np.int64)
+        volts = np.asarray(volts, dtype=float)
+        voc = self.voc[indices]
+        ok = (volts > 0.0) & (voc > 0.0) & (volts < voc)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x = np.where(ok, volts / voc, 0.0)
+        u = 1.0 - np.sqrt(np.maximum(0.0, 1.0 - x))
+        f = u * (self.grid_points - 1)
+        k = np.minimum(f.astype(np.int64), self.grid_points - 2)
+        w = f - k
+        base = indices * self.grid_points + k
+        p0 = self._flat[base]
+        p1 = self._flat[base + 1]
+        return np.where(ok, p0 + (p1 - p0) * w, 0.0)
+
+    # --- validation gate ----------------------------------------------------
+
+    def validate(self, max_conditions: int = 64) -> LUTValidationReport:
+        """Measure worst-case error at interval midpoints; gate on budget.
+
+        Exact solves are evaluated at the u-space midpoint of every
+        interpolation interval — the worst case for a piecewise-linear
+        interpolant — over up to ``max_conditions`` rows (evenly spaced
+        through the table, always including the highest-power row,
+        where absolute error peaks).  Raises
+        :class:`~repro.errors.LUTValidationError` when the measured
+        worst case exceeds :attr:`rel_budget`.
+        """
+        conditions = len(self.voc)
+        lit = np.nonzero(self.voc > 0.0)[0]
+        if lit.size == 0:
+            return LUTValidationReport(
+                grid_points=self.grid_points, conditions=conditions,
+                conditions_checked=0, samples=0,
+                max_abs_error=0.0, max_rel_error=0.0, rel_budget=self.rel_budget,
+            )
+        if lit.size <= max_conditions:
+            chosen = lit
+        else:
+            spread = lit[np.linspace(0, lit.size - 1, max_conditions).astype(np.int64)]
+            peak = lit[int(np.argmax(self.scale[lit]))]
+            chosen = np.unique(np.append(spread, peak))
+
+        g = self.grid_points
+        u_mid = (np.arange(g - 1) + 0.5) / (g - 1)
+        x_mid = 1.0 - (1.0 - u_mid) ** 2
+        volts = self.voc[chosen, None] * x_mid[None, :]
+        idx = np.repeat(chosen, g - 1)
+        flat_v = volts.ravel()
+
+        approx = self.power_many(idx, flat_v)
+        exact_i = batch_current_at(take_params(self.params, idx), flat_v)
+        exact = np.maximum(0.0, flat_v * exact_i)
+        err = np.abs(approx - exact)
+        rel = err / self.scale[idx]
+
+        report = LUTValidationReport(
+            grid_points=g,
+            conditions=conditions,
+            conditions_checked=int(chosen.size),
+            samples=int(flat_v.size),
+            max_abs_error=float(err.max()),
+            max_rel_error=float(rel.max()),
+            rel_budget=self.rel_budget,
+        )
+        if not report.ok:
+            raise LUTValidationError(
+                f"power LUT failed validation: worst-case relative error "
+                f"{report.max_rel_error:.3e} exceeds declared budget "
+                f"{self.rel_budget:.3e} at {g} grid points — increase "
+                f"grid_points or relax the budget",
+                max_rel_error=report.max_rel_error,
+                rel_budget=self.rel_budget,
+            )
+        return report

@@ -1,0 +1,103 @@
+"""Engine-tier registry: ``scalar`` | ``fleet`` | ``compiled`` selection.
+
+Three tiers advance the same physics at different throughput:
+
+* ``scalar`` — one :class:`~repro.sim.quasistatic.QuasiStaticSimulator`
+  per chain.  The bitwise reference; the golden traces encode its bits.
+* ``fleet`` — :class:`~repro.sim.fleet.FleetSimulator`, the population
+  as a NumPy axis.  Matches scalar to a-few-ulp tolerance.
+* ``compiled`` — :mod:`repro.sim.compiled`: fused per-step kernels
+  (Numba-jitted when numba is importable, pure-Python otherwise) over
+  a validated power LUT (:mod:`repro.pv.lut`).  Matches fleet/scalar
+  within the table's declared error budget.
+
+``engine="auto"`` resolves to the fastest tier an experiment supports.
+The compiled tier is *always* available — the import-time numba probe
+only decides whether its kernels are jitted or interpreted — so auto
+never depends on the environment and results never silently change
+with it.
+
+Every experiment entry point funnels its ``engine=`` argument through
+:func:`resolve_engine`, so unknown names fail identically everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Type
+
+from repro.errors import ModelParameterError
+
+KNOWN_ENGINES = ("scalar", "fleet", "compiled")
+"""All engine tiers, slowest to fastest."""
+
+AUTO = "auto"
+"""Sentinel: pick the fastest allowed tier."""
+
+_SPEED_ORDER = ("compiled", "fleet", "scalar")
+
+
+def available_engines() -> tuple:
+    """Engine names accepted by the experiment entry points."""
+    return KNOWN_ENGINES
+
+
+def have_numba() -> bool:
+    """Whether the compiled tier's kernels are jitted (vs interpreted)."""
+    from repro.sim.compiled import HAVE_NUMBA
+
+    return HAVE_NUMBA
+
+
+def resolve_engine(
+    engine: str,
+    allowed: Sequence[str] = KNOWN_ENGINES,
+    context: str = "experiment",
+) -> str:
+    """Validate an ``engine=`` argument and resolve ``"auto"``.
+
+    Args:
+        engine: requested tier name, or ``"auto"``.
+        allowed: the tiers this experiment implements.
+        context: label used in the rejection message.
+
+    Returns:
+        A concrete tier name from ``allowed``.
+
+    Raises:
+        ModelParameterError: unknown name, or a known tier the
+            experiment does not implement.
+    """
+    if not isinstance(engine, str):
+        raise ModelParameterError(
+            f"engine must be a string, got {type(engine).__name__}"
+        )
+    if engine == AUTO:
+        for candidate in _SPEED_ORDER:
+            if candidate in allowed:
+                return candidate
+        raise ModelParameterError(f"no engine tiers enabled for {context}")
+    if engine not in allowed:
+        raise ModelParameterError(
+            f"unknown engine {engine!r} for {context}; expected one of "
+            f"{', '.join(repr(e) for e in allowed)} or 'auto'"
+        )
+    return engine
+
+
+def fleet_class(engine: str) -> Type:
+    """The fleet-shaped simulator class backing a tier.
+
+    ``"fleet"`` maps to :class:`~repro.sim.fleet.FleetSimulator`;
+    ``"compiled"`` to its LUT-accelerated subclass
+    :class:`~repro.sim.compiled.CompiledFleetSimulator` (same
+    constructor, same checkpoint protocol).
+    """
+    if engine == "compiled":
+        from repro.sim.compiled import CompiledFleetSimulator
+
+        return CompiledFleetSimulator
+    if engine == "fleet":
+        from repro.sim.fleet import FleetSimulator
+
+        return FleetSimulator
+    raise ModelParameterError(f"engine {engine!r} has no fleet-shaped simulator")

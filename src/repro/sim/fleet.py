@@ -343,6 +343,10 @@ class FleetSimulator:
         self._sleep_power = np.zeros(n)
         self._report_energy = np.zeros(n)
         self._upd_int = np.ones(n)
+        self._v_surv = np.zeros(n)
+        self._v_comf = np.ones(n)
+        self._min_per = np.ones(n)
+        self._max_per = np.ones(n)
         self._cur_period = np.zeros(n)
         self._next_update = np.zeros(n)
         self._hibernating = np.zeros(n, dtype=bool)
@@ -430,6 +434,10 @@ class FleetSimulator:
                 self._sleep_power[j] = sched.node.sleep_power
                 self._report_energy[j] = sched.node.energy_per_report()
                 self._upd_int[j] = sched.update_interval
+                self._v_surv[j] = sched.v_survival
+                self._v_comf[j] = sched.v_comfort
+                self._min_per[j] = sched.min_period
+                self._max_per[j] = sched.max_period
                 self._cur_period[j] = sched._current_period
                 self._next_update[j] = sched._next_update
                 self._hibernating[j] = sched._hibernating
@@ -592,19 +600,48 @@ class FleetSimulator:
         """Vectorized EnergyAwareScheduler.power across the fleet."""
         update = self._has_load & (t >= self._next_update)
         if update.any():
-            for j in np.nonzero(update)[0]:
-                # math.log/exp per node keeps the period bitwise equal
-                # to the scalar policy (N is small, updates are sparse).
-                period = self._scheds[j].period_for_voltage(float(storage_v[j]))
-                if period is None:
-                    self._hibernating[j] = True
-                else:
-                    was_hibernating = self._hibernating[j]
-                    self._hibernating[j] = False
-                    self._cur_period[j] = period
-                    if was_hibernating:
-                        self._next_report[j] = t + period
-                self._next_update[j] = t + self._upd_int[j]
+            idx = np.nonzero(update)[0]
+            v = storage_v[idx]
+            if np.isnan(v).any():
+                raise NumericalGuardError(
+                    "storage voltage is NaN; refusing to schedule on it",
+                    signal="v_storage",
+                )
+            surv = self._v_surv[idx]
+            comf = self._v_comf[idx]
+            hibernate = v < surv
+            period = self._min_per[idx].copy()
+            mid = ~hibernate & (v < comf)
+            if mid.any():
+                # math.log/exp on python floats keeps the log-interpolated
+                # period bitwise equal to the scalar policy (np.log differs
+                # in the last ulp on some hosts); all the placement and
+                # bookkeeping around it is vectorized.
+                n_clamped = 0
+                vals = []
+                for vj, sj, cj, lo, hi in zip(
+                    v[mid].tolist(), surv[mid].tolist(), comf[mid].tolist(),
+                    self._min_per[idx][mid].tolist(),
+                    self._max_per[idx][mid].tolist(),
+                ):
+                    fraction = (vj - sj) / (cj - sj)
+                    p = math.exp(math.log(hi) + fraction * (math.log(lo) - math.log(hi)))
+                    if p < lo or p > hi:
+                        n_clamped += 1
+                        p = min(hi, max(lo, p))
+                    vals.append(p)
+                period[mid] = vals
+                clamps = _OBS.scheduler_clamps
+                if n_clamped and clamps is not None:
+                    clamps.inc(n_clamped)
+            awake = ~hibernate
+            was_hibernating = self._hibernating[idx]
+            self._hibernating[idx] = hibernate
+            self._cur_period[idx] = np.where(awake, period, self._cur_period[idx])
+            self._next_report[idx] = np.where(
+                awake & was_hibernating, t + period, self._next_report[idx]
+            )
+            self._next_update[idx] = t + self._upd_int[idx]
         power = np.where(self._has_load, self._sleep_power, 0.0)
         report = self._has_load & ~self._hibernating & (t >= self._next_report)
         if report.any():
@@ -612,6 +649,20 @@ class FleetSimulator:
             self._next_report = np.where(report, t + self._cur_period, self._next_report)
             power = power + np.where(report, self._report_energy / self._upd_int, 0.0)
         return power
+
+    # --- harvest hook -------------------------------------------------------
+
+    def _pv_power(
+        self, u_sel: np.ndarray, v_sel: np.ndarray, duty_sel: np.ndarray
+    ) -> np.ndarray:
+        """Harvested power at the selected (condition, voltage) points.
+
+        The engine-tier hook: this base implementation is the exact
+        Lambert-W solve; the compiled tier overrides it with a validated
+        interpolation-table lookup (:mod:`repro.sim.compiled`).
+        """
+        current = batch_current_at(take_params(self._params_all, u_sel), v_sel)
+        return np.maximum(0.0, v_sel * current) * duty_sel
 
     # --- stepping ----------------------------------------------------------
 
@@ -694,11 +745,10 @@ class FleetSimulator:
             idx = np.nonzero(harvesting)[0]
             if TRACER.enabled:
                 t0 = _time.perf_counter()
-                current = batch_current_at(take_params(self._params_all, u_row[idx]), v_op[idx])
+                pv_power[idx] = self._pv_power(u_row[idx], v_op[idx], duty[idx])
                 TRACER.add("fleet:vector-solve", _time.perf_counter() - t0)
             else:
-                current = batch_current_at(take_params(self._params_all, u_row[idx]), v_op[idx])
-            pv_power[idx] = np.maximum(0.0, v_op[idx] * current) * duty[idx]
+                pv_power[idx] = self._pv_power(u_row[idx], v_op[idx], duty[idx])
 
         # --- converter transfer -------------------------------------------
         delivered = pv_power.copy()
@@ -804,20 +854,27 @@ class FleetSimulator:
 
     def summaries(self) -> List[HarvestSummary]:
         """Per-node harvest summaries, in member order."""
-        out = []
-        for j in range(self.n):
-            out.append(
-                HarvestSummary(
-                    duration=float(self._duration[j]),
-                    energy_ideal=float(self._e_ideal[j]),
-                    energy_at_cell=float(self._e_cell[j]),
-                    energy_delivered=float(self._e_del[j]),
-                    energy_overhead=float(self._e_over[j]),
-                    energy_load=float(self._e_load[j]),
-                    final_storage_voltage=float(self._final_v[j]),
-                )
+        columns = zip(
+            self._duration.tolist(),
+            self._e_ideal.tolist(),
+            self._e_cell.tolist(),
+            self._e_del.tolist(),
+            self._e_over.tolist(),
+            self._e_load.tolist(),
+            self._final_v.tolist(),
+        )
+        return [
+            HarvestSummary(
+                duration=duration,
+                energy_ideal=ideal,
+                energy_at_cell=at_cell,
+                energy_delivered=delivered,
+                energy_overhead=overhead,
+                energy_load=load,
+                final_storage_voltage=final_v,
             )
-        return out
+            for duration, ideal, at_cell, delivered, overhead, load, final_v in columns
+        ]
 
     # --- checkpoint protocol ------------------------------------------------
 

@@ -1,0 +1,112 @@
+"""Property tests: the power LUT's error budget holds across the fitted
+parameter space, and the validation gate rejects undersized tables.
+
+The compiled engine tier trusts :class:`repro.pv.lut.CellPowerLUT`
+wherever the scalar engine performed an exact Lambert-W solve, so the
+table's declared budget has to hold not just for one cell at one light
+level but across everything the fitted models can produce: any cell in
+the library, any lux the scenarios emit, any temperature the thermal
+model reaches — and at arbitrary off-grid voltages, not only the
+midpoints the gate samples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LUTValidationError
+from repro.pv.cells import am_1815, generic_csi, schott_1116929
+from repro.pv.lut import DEFAULT_REL_BUDGET, CellPowerLUT
+
+CELLS = {"am1815": am_1815, "csi": generic_csi, "schott": schott_1116929}
+
+conditions = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=5.2),  # log10 lux: 10 .. ~160k
+        st.floats(min_value=273.15, max_value=348.15),  # 0 .. 75 C
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _models(cell_name, conds):
+    cell = CELLS[cell_name]()
+    return [
+        cell.model_at(10.0**log_lux).with_temperature(temp)
+        for log_lux, temp in conds
+    ]
+
+
+class TestBudgetAcrossParameterSpace:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cell_name=st.sampled_from(sorted(CELLS)),
+        conds=conditions,
+        data=st.data(),
+    )
+    def test_worst_case_error_within_declared_budget(self, cell_name, conds, data):
+        models = _models(cell_name, conds)
+        lut = CellPowerLUT.from_models(models)
+
+        # The pre-run gate (interval midpoints — the piecewise-linear
+        # worst case) must pass at the default grid size.
+        report = lut.validate()
+        assert report.ok
+        assert report.max_rel_error <= DEFAULT_REL_BUDGET
+
+        # And the bound must hold at arbitrary voltages, not only the
+        # gate's sample points.
+        for i, model in enumerate(models):
+            voc = lut.voc[i]
+            if voc <= 0.0:
+                continue
+            fractions = data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+                    min_size=1,
+                    max_size=8,
+                ),
+                label=f"voltage fractions (condition {i})",
+            )
+            for frac in fractions:
+                v = float(voc * frac)
+                exact = max(0.0, float(model.power_at(v)))
+                err = abs(lut.power(i, v) - exact) / lut.scale[i]
+                assert err <= DEFAULT_REL_BUDGET, (
+                    f"{cell_name} condition {i}: error {err:.3e} at "
+                    f"V={v:.4f} exceeds the declared budget"
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(cell_name=st.sampled_from(sorted(CELLS)), conds=conditions)
+    def test_scalar_and_vector_lookups_agree_bitwise(self, cell_name, conds):
+        models = _models(cell_name, conds)
+        lut = CellPowerLUT.from_models(models)
+        rng = np.random.default_rng(len(conds))
+        idx = rng.integers(0, len(models), size=32)
+        volts = rng.uniform(-0.2, float(lut.voc.max() + 0.2), size=32)
+        many = lut.power_many(idx, volts)
+        for i, v, p in zip(idx, volts, many):
+            assert lut.power(int(i), float(v)) == p
+
+
+class TestGateRejectsUndersizedTables:
+    @settings(max_examples=25, deadline=None)
+    @given(cell_name=st.sampled_from(sorted(CELLS)), conds=conditions)
+    def test_minimum_grid_fails_tight_budget(self, cell_name, conds):
+        models = _models(cell_name, conds)
+        # An 8-point table cannot track the knee to 1e-5 of full scale;
+        # the gate must refuse it rather than let the engine run on it.
+        lut = CellPowerLUT.from_models(models, grid_points=8, rel_budget=1e-5)
+        with pytest.raises(LUTValidationError) as exc:
+            lut.validate()
+        assert exc.value.max_rel_error > exc.value.rel_budget
+
+    def test_growing_the_grid_recovers_validity(self):
+        models = _models("am1815", [(3.0, 298.15)])
+        small = CellPowerLUT.from_models(models, grid_points=8)
+        with pytest.raises(LUTValidationError):
+            small.validate()
+        assert CellPowerLUT.from_models(models, grid_points=129).validate().ok
