@@ -224,6 +224,7 @@ def run_sample_hold_montecarlo(
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
     engine: str = "fleet",
+    factors: Optional[tuple] = None,
 ) -> MonteCarloResult:
     """Sample ``boards`` S&H builds and measure each one's ratio.
 
@@ -267,13 +268,20 @@ def run_sample_hold_montecarlo(
             already a single vectorized shot with no per-step loop for
             a fused kernel to collapse, so there is nothing further to
             compile.
+        factors: optional per-cell shading factors frozen for the whole
+            population (requires a :class:`~repro.pv.string.CellString`)
+            — the "how accurate is FOCV sampling on a *mismatched*
+            string" axis.
     """
     if boards < 1:
         raise ModelParameterError(f"boards must be >= 1, got {boards!r}")
     engine = resolve_engine(engine, context="sample-hold montecarlo")
     use_fleet = engine in ("fleet", "compiled")
     cell = cell if cell is not None else am_1815()
-    model = cell.model_at(lux)
+    if factors is not None:
+        model = cell.model_at(lux, factors=tuple(factors))
+    else:
+        model = cell.model_at(lux)
     voc = model.voc()
     rng = np.random.default_rng(seed)
 
@@ -329,6 +337,9 @@ def run_sample_hold_montecarlo(
             "chunks": len(batches),
             "engine": engine,
         }
+        # Older checkpoints predate the shading axis; only spec it when used.
+        if factors is not None:
+            run_spec["factors"] = [float(f) for f in factors]
         done: dict = {}
         if resume_from is not None:
             envelope = load_checkpoint(resume_from, kind="montecarlo")

@@ -13,6 +13,7 @@ Usage::
     python -m repro sec2b
     python -m repro comparison [--hours 24]   # E8 (slow)
     python -m repro resilience [--seed 0]     # E16 fault-injection (slow)
+    python -m repro strings [--engine fleet]  # E18 shaded-string fleets (slow)
     python -m repro endurance                 # E12 (slow)
     python -m repro endurance --checkpoint ck.json          # crash-safe run
     python -m repro endurance --resume ck.json              # pick it back up
@@ -102,8 +103,21 @@ def _cmd_spectra(args) -> str:
 def _cmd_comparison(args) -> str:
     from repro.experiments import comparison
 
+    cell = None
+    shading = getattr(args, "shading", None)
+    if shading is not None:
+        # Shadow maps need per-cell granularity; shade a default string.
+        from repro.experiments.strings import DEFAULT_MISMATCH_4S
+        from repro.pv.cells import am_1815
+        from repro.pv.string import CellString
+
+        cell = CellString(am_1815(), 4, mismatch=DEFAULT_MISMATCH_4S)
     results = comparison.run_comparison(
-        duration=args.hours * 3600.0, dt=10.0, engine=args.engine
+        cell=cell,
+        duration=args.hours * 3600.0,
+        dt=10.0,
+        engine=args.engine,
+        shading=shading,
     )
     return comparison.render_quiescent() + "\n\n" + comparison.render(results)
 
@@ -120,6 +134,18 @@ def _cmd_resilience(args) -> str:
         engine=args.engine,
     )
     return resilience.render(report)
+
+
+def _cmd_strings(args) -> str:
+    from repro.experiments import strings
+
+    report = strings.run_strings(
+        duration=args.hours * 3600.0,
+        dt=args.dt,
+        engine=args.engine,
+        seed=args.seed,
+    )
+    return strings.render(report)
 
 
 def _cmd_endurance(args) -> str:
@@ -163,7 +189,7 @@ def _cmd_teg(args) -> str:
 def _profile_target_argv(args) -> list:
     """The argv handed to the target subcommand, forwarding shared flags."""
     argv = [args.experiment]
-    if args.hours is not None and args.experiment in ("comparison", "resilience"):
+    if args.hours is not None and args.experiment in ("comparison", "resilience", "strings"):
         argv += ["--hours", str(args.hours)]
     if args.lux is not None and args.experiment in ("fig4", "coldstart"):
         argv += ["--lux", str(args.lux)]
@@ -217,6 +243,7 @@ COMMANDS: Dict[str, Callable] = {
     "spectra": _cmd_spectra,
     "comparison": _cmd_comparison,
     "resilience": _cmd_resilience,
+    "strings": _cmd_strings,
     "endurance": _cmd_endurance,
     "teg": _cmd_teg,
     "aging": _cmd_aging,
@@ -242,6 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
                            default="scalar",
                            help="engine tier: scalar reference (default), vectorized "
                            "fleet, fused+LUT compiled, or auto (fastest)")
+            p.add_argument("--shading", default=None, metavar="SPEC",
+                           help="shadow-map spec for string cells, e.g. "
+                           "'edge-sweep' or 'blob:seed=3' or "
+                           "'edge-sweep:depth=0.5,period=3600'")
+        if name == "strings":
+            p.add_argument("--hours", type=float, default=24.0)
+            p.add_argument("--dt", type=float, default=60.0)
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--engine", choices=("scalar", "fleet", "compiled", "auto"),
+                           default="scalar",
+                           help="engine tier for every E18 harvest run")
         if name == "resilience":
             p.add_argument("--hours", type=float, default=24.0)
             p.add_argument("--dt", type=float, default=60.0)

@@ -151,6 +151,16 @@ class SampleHoldCircuit:
             (pv_voltage, tap_voltage): the cell terminal voltage loaded
             by the divider, and the divider tap voltage.
         """
+        loaded_point = getattr(cell_model, "loaded_point", None)
+        if loaded_point is not None:
+            # String models solve the divider load directly (bisection on
+            # the same kernels the fleet tier runs), skipping the MNA
+            # Newton walk; single cells keep the MNA path so the existing
+            # golden traces stay bitwise.
+            total = self.divider.top.ohms + self.divider.bottom.ohms
+            pv_voltage = loaded_point(total)
+            tap_voltage = pv_voltage * self.divider.bottom.ohms / total
+            return pv_voltage, tap_voltage
         circuit = Circuit()
         circuit.add_pv_cell("pv", "0", cell_model)
         circuit.add_resistor("pv", "tap", self.divider.top.ohms)

@@ -5,6 +5,9 @@ covering the paper's scenarios: the office-desk and semi-mobile 24-hour
 logs of Fig. 2, constant bench intensities for Table I, and the indoor /
 outdoor building blocks (lamp schedules, blinds-filtered daylight,
 clear-sky sun, clouds) they compose from.
+
+:mod:`repro.env.shading` adds deterministic, seeded shadow maps —
+time-varying per-cell irradiance factors for series strings.
 """
 
 from repro.env.profiles import (
@@ -27,6 +30,16 @@ from repro.env.scenarios import (
     step_change,
     weekly_office,
 )
+from repro.env.shading import (
+    ShadowMap,
+    NoShade,
+    StaticShade,
+    EdgeSweep,
+    BlobOcclusion,
+    VenetianBlind,
+    SHADOW_MAPS,
+    build_shadow_map,
+)
 
 __all__ = [
     "LightProfile",
@@ -48,4 +61,12 @@ __all__ = [
     "outdoor_day",
     "constant_bench",
     "weekly_office",
+    "ShadowMap",
+    "NoShade",
+    "StaticShade",
+    "EdgeSweep",
+    "BlobOcclusion",
+    "VenetianBlind",
+    "SHADOW_MAPS",
+    "build_shadow_map",
 ]

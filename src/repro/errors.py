@@ -109,7 +109,16 @@ class ParallelExecutionError(ReproError, RuntimeError):
 
 
 class WorkerCrashError(ParallelExecutionError):
-    """A pool worker died (segfault, OOM kill) and recovery was disabled."""
+    """A pool worker died (segfault, OOM kill) and recovery was disabled.
+
+    ``spec_index`` names the spec the dead worker was running, or -1
+    when the crash could not be attributed to a single spec (e.g. the
+    pool itself failed to start).
+    """
+
+    def __init__(self, message: str, spec_index: int = -1):
+        super().__init__(message)
+        self.spec_index = spec_index
 
 
 class WorkerTimeoutError(ParallelExecutionError):

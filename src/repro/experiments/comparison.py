@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.errors import ModelParameterError
 from repro.obs.tracing import TRACER
 from repro.baselines import (
     FixedVoltage,
@@ -127,6 +128,63 @@ class _ScenarioSpec:
     use_thermal: bool
     precompute: bool
     engine: str = "scalar"
+    shading: "str | None" = None
+
+
+def _cell_area_cm2(cell) -> float:
+    """Thermal absorber area for cells and strings alike."""
+    params = getattr(cell, "parameters", None)
+    if params is not None:
+        return float(params.area_cm2)
+    return float(cell.area_cm2)
+
+
+def parse_shading_spec(spec_str: str) -> "tuple[str, dict]":
+    """Split a shading spec string into (registry name, kwargs).
+
+    Specs are either a bare :data:`~repro.env.shading.SHADOW_MAPS` name
+    (``"edge-sweep"``) or a name with constructor overrides
+    (``"edge-sweep:depth=0.5,period=1e9"``).  Values parse as int when
+    they look integral, float otherwise — matching the numeric knobs
+    every registered map takes.  The string form keeps specs picklable
+    and CLI-friendly.
+    """
+    name, _, tail = spec_str.partition(":")
+    kwargs: dict = {}
+    if tail:
+        for item in tail.split(","):
+            key, sep, raw = item.partition("=")
+            if not sep or not key:
+                raise ModelParameterError(
+                    f"bad shading spec item {item!r} in {spec_str!r}; "
+                    "expected name:key=value,key=value"
+                )
+            try:
+                kwargs[key.strip()] = int(raw)
+            except ValueError:
+                try:
+                    kwargs[key.strip()] = float(raw)
+                except ValueError:
+                    raise ModelParameterError(
+                        f"shading spec value {raw!r} in {spec_str!r} is not numeric"
+                    ) from None
+    return name, kwargs
+
+
+def _build_shading(spec: _ScenarioSpec):
+    """Rebuild the spec's shadow map (spec string -> instance)."""
+    if spec.shading is None:
+        return None
+    from repro.env.shading import build_shadow_map
+
+    n_cells = getattr(spec.cell, "n_cells", None)
+    if n_cells is None:
+        raise ModelParameterError(
+            "shading requires a string-style cell (CellString); "
+            f"got {type(spec.cell).__name__}"
+        )
+    name, kwargs = parse_shading_spec(spec.shading)
+    return build_shadow_map(name, int(n_cells), **kwargs)
 
 
 def _fresh_storage(spec: _ScenarioSpec):
@@ -140,7 +198,7 @@ def _fresh_storage(spec: _ScenarioSpec):
 def _run_scalar_lane(spec, cell, scenario_factory, technique_name, controller, precomputed):
     """One technique through the scalar reference engine."""
     thermal = (
-        CellThermalModel(area_cm2=cell.parameters.area_cm2)
+        CellThermalModel(area_cm2=_cell_area_cm2(cell))
         if spec.use_thermal and precomputed is None
         else None
     )
@@ -154,6 +212,7 @@ def _run_scalar_lane(spec, cell, scenario_factory, technique_name, controller, p
         supply_voltage=3.0,
         record=False,
         precomputed=precomputed,
+        shading=_build_shading(spec) if precomputed is None else None,
     )
     return sim.run(spec.duration, dt=spec.dt)
 
@@ -186,10 +245,15 @@ def _run_scenario(spec: _ScenarioSpec) -> List[ComparisonCell]:
     precomputed = None
     if spec.precompute or spec.engine == "fleet":
         thermal = (
-            CellThermalModel(area_cm2=cell.parameters.area_cm2) if spec.use_thermal else None
+            CellThermalModel(area_cm2=_cell_area_cm2(cell)) if spec.use_thermal else None
         )
         precomputed = precompute_conditions(
-            cell, scenario_factory(), spec.duration, spec.dt, thermal=thermal
+            cell,
+            scenario_factory(),
+            spec.duration,
+            spec.dt,
+            thermal=thermal,
+            shading=_build_shading(spec),
         )
 
     if spec.engine == "fleet":
@@ -227,6 +291,8 @@ def _run_scenario_compiled(spec, cell, controller_factories, scenario_factory):
             spec.dt,
             use_thermal=spec.use_thermal,
             supply_voltage=3.0,
+            shading=_build_shading(spec),
+            shading_name=spec.shading,
         )
         for technique_name in spec.techniques:
             summary = compiled_out.get(technique_name)
@@ -289,6 +355,7 @@ def run_comparison(
     parallel: bool = False,
     max_workers: int | None = None,
     engine: str = "scalar",
+    shading: str | None = None,
 ) -> List[ComparisonCell]:
     """Run every technique through every scenario.
 
@@ -315,6 +382,9 @@ def run_comparison(
             array engine, rest scalar), ``"compiled"`` (fused kernels
             over a validated power LUT — fastest, matches scalar within
             the table's declared error budget), or ``"auto"``.
+        shading: optional :data:`~repro.env.shading.SHADOW_MAPS` name
+            driving per-cell factors; requires ``cell`` to be a
+            :class:`~repro.pv.string.CellString`.
     """
     engine = resolve_engine(engine, context="comparison")
     cell = cell if cell is not None else am_1815()
@@ -334,6 +404,7 @@ def run_comparison(
             use_thermal=use_thermal,
             precompute=precompute,
             engine=engine,
+            shading=shading,
         )
         for scenario_name in selected_scenarios
     ]

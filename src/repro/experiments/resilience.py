@@ -34,7 +34,12 @@ from repro.converter.buck_boost import BuckBoostConverter
 from repro.core.system import SampleHoldMPPT
 from repro.env.profiles import HOURS, ConstantProfile, LightProfile
 from repro.errors import FaultConfigError, ModelParameterError
-from repro.experiments.comparison import default_controllers, default_scenarios
+from repro.experiments.comparison import (
+    _build_shading,
+    _cell_area_cm2,
+    default_controllers,
+    default_scenarios,
+)
 from repro.faults.components import (
     ConverterBrownoutFault,
     HoldLeakageFault,
@@ -242,6 +247,7 @@ class _CampaignSpec:
     dt: float
     seed: int
     engine: str = "scalar"
+    shading: "str | None" = None
 
 
 def _run_campaign_scenario(spec: _CampaignSpec) -> List[ResilienceCell]:
@@ -260,9 +266,14 @@ def _run_campaign_scenario(spec: _CampaignSpec) -> List[ResilienceCell]:
     scenario_factory = default_scenarios()[spec.scenario]
 
     environment = plan.wrap_environment(scenario_factory())
-    thermal = CellThermalModel(area_cm2=cell.parameters.area_cm2)
+    thermal = CellThermalModel(area_cm2=_cell_area_cm2(cell))
     precomputed = precompute_conditions(
-        cell, environment, spec.duration, spec.dt, thermal=thermal
+        cell,
+        environment,
+        spec.duration,
+        spec.dt,
+        thermal=thermal,
+        shading=_build_shading(spec),
     )
 
     chains = []
@@ -589,6 +600,7 @@ def run_resilience(
     checkpoint_path: str | None = None,
     resume_from: str | None = None,
     engine: str = "fleet",
+    shading: str | None = None,
 ) -> ResilienceReport:
     """Run the comparison under every requested fault campaign.
 
@@ -625,6 +637,10 @@ def run_resilience(
             :class:`QuasiStaticSimulator` path (bit-identical to the E8
             comparison on the clean campaign).  ``"auto"`` picks the
             fastest tier.
+        shading: optional :data:`~repro.env.shading.SHADOW_MAPS` name
+            laid over every campaign (requires a
+            :class:`~repro.pv.string.CellString`) — "does the technique
+            survive faults *and* partial shading at once".
     """
     engine = resolve_engine(engine, context="resilience")
     cell = cell if cell is not None else am_1815()
@@ -656,6 +672,7 @@ def run_resilience(
             dt=dt,
             seed=seed,
             engine=engine,
+            shading=shading,
         )
         for campaign in selected_campaigns
         for scenario in selected_scenarios
@@ -674,6 +691,9 @@ def run_resilience(
         "include_coldstart": include_coldstart,
         "engine": engine,
     }
+    # Older checkpoints predate the shading axis; only spec it when used.
+    if shading is not None:
+        run_spec["shading"] = shading
     done: Dict[str, List[ResilienceCell]] = {}
     cached_recovery: Optional[List[RecoveryResult]] = None
     cached_coldstart: Optional[ColdStartStats] = None

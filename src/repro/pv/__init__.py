@@ -10,6 +10,10 @@ a lumped thermal model (:mod:`repro.pv.thermal`), and a thermoelectric
 generator for the paper's claimed TEG applicability
 (:mod:`repro.pv.teg`).
 
+Series strings: :mod:`repro.pv.string` composes cells into mismatched,
+bypass-diode-equipped strings whose multi-knee curves drop into every
+engine tier as a cell replacement.
+
 Performance layers: :mod:`repro.pv.batch` solves many conditions'
 Voc/Isc/MPP in one vectorized Lambert-W pass, and :mod:`repro.pv.cache`
 wraps a cell in a condition-keyed solve cache.
@@ -22,6 +26,7 @@ from repro.pv.mpp import k_factor, k_factor_curve, efficiency_at_voltage
 from repro.pv.thermal import CellThermalModel
 from repro.pv.teg import ThermoelectricGenerator
 from repro.pv.fitting import FitTarget, FitResult, fit_cell_parameters, am_1815_targets
+from repro.pv.string import CellString, StringModel, StringMPPResult, solve_string_models
 from repro.pv.batch import BatchSolveResult, batch_mpp, solve_models
 from repro.pv.cache import CachedPVCell, CacheStats, SolveCache, cached_cell
 
@@ -48,6 +53,10 @@ __all__ = [
     "FitResult",
     "fit_cell_parameters",
     "am_1815_targets",
+    "CellString",
+    "StringModel",
+    "StringMPPResult",
+    "solve_string_models",
     "BatchSolveResult",
     "batch_mpp",
     "solve_models",

@@ -387,6 +387,394 @@ def batch_loaded_point(
     return out
 
 
+# --- series strings: the ragged cell axis ------------------------------------
+#
+# A string is a series chain of single-diode cells sharing one terminal
+# current.  Populations of strings are ragged (each string may have its
+# own cell count), so the stack below keeps a *flat* cell axis plus row
+# offsets — string ``r`` owns cells ``offsets[r]:offsets[r+1]``.  Every
+# kernel is elementwise over "evaluation points" ``(row, scalar)`` and
+# therefore produces identical floats whether it is called with one row
+# (the scalar :class:`repro.pv.string.StringModel` path) or a whole
+# population (the fleet tier) — the cross-engine equivalence discipline
+# of the single-cell kernels carries over unchanged.
+#
+# The per-cell voltage solve deliberately has *no* Isc guard: a shaded
+# cell in a mismatched string is driven past its short-circuit current
+# into reverse bias, where the finite-Rsh Lambert-W expression stays
+# valid (W -> 0 and the linear shunt branch takes over).  Strings
+# therefore require every cell to have finite shunt resistance, which
+# all library cells do.
+
+STRING_BISECTION_ITERS = 48
+"""Bisection halvings for string current/loaded-point solves: 48
+halvings of the current bracket converge to ~4e-15 relative, far below
+the fleet equivalence tolerance."""
+
+
+@dataclass(frozen=True)
+class StringParamArrays:
+    """Ragged per-cell parameter stack for a batch of series strings.
+
+    Attributes:
+        cells: flat five-parameter arrays, one entry per cell across all
+            strings (the cell axis).
+        offsets: ``(n_strings + 1,)`` int array; string ``r`` owns cells
+            ``offsets[r]:offsets[r+1]``.
+        bypass: per-cell bypass-diode clamp voltage (volts, >= 0); a
+            cell's voltage is clamped at ``-bypass`` (an ideal bypass
+            diode with a fixed forward drop).  ``inf`` means no diode.
+    """
+
+    cells: _ParamArrays
+    offsets: np.ndarray
+    bypass: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Cells per string, ``(n_strings,)``."""
+        return self.offsets[1:] - self.offsets[:-1]
+
+
+def stack_string_params(
+    strings: "Sequence[Sequence[SingleDiodeModel]]",
+    bypass_drops: "Sequence[float | None]",
+) -> StringParamArrays:
+    """Stack per-string cell model lists into one ragged cell-axis stack.
+
+    Args:
+        strings: one sequence of cell models per string (>= 1 cell each).
+        bypass_drops: per string, the bypass diode forward drop in volts
+            or ``None`` for no bypass diodes.
+
+    Raises:
+        ModelParameterError: empty string, infinite shunt resistance
+            (the reverse-capable solve requires finite Rsh), or a
+            negative bypass drop.
+    """
+    from repro.errors import ModelParameterError
+
+    flat: List[SingleDiodeModel] = []
+    offsets = [0]
+    bypass: List[float] = []
+    for cells, drop in zip(strings, bypass_drops):
+        cells = list(cells)
+        if not cells:
+            raise ModelParameterError("a string must contain at least one cell")
+        if drop is not None and drop < 0.0:
+            raise ModelParameterError(f"bypass drop must be >= 0, got {drop!r}")
+        for m in cells:
+            if not math.isfinite(m.shunt_resistance):
+                raise ModelParameterError(
+                    "string cells need finite shunt resistance (the reverse-bias "
+                    "branch of a shaded cell conducts through the shunt)"
+                )
+        flat.extend(cells)
+        offsets.append(len(flat))
+        bypass.extend([float("inf") if drop is None else float(drop)] * len(cells))
+    return StringParamArrays(
+        cells=_stack_params(flat),
+        offsets=np.asarray(offsets, dtype=np.intp),
+        bypass=np.asarray(bypass, dtype=float),
+    )
+
+
+class _StringEval:
+    """Pre-gathered cell-axis views for repeated solves at fixed rows.
+
+    Bisection evaluates the same ``(rows)`` pattern dozens of times with
+    different currents; gathering parameters (and the per-iteration
+    constants of the Lambert-W argument) once per solve instead of once
+    per halving is what keeps the per-step engine cost tolerable.
+    """
+
+    __slots__ = ("e_of", "seg_starts", "iphpi0", "rs", "rsh", "a", "log_k", "neg_bypass")
+
+    def __init__(self, sp: StringParamArrays, rows: np.ndarray):
+        counts = sp.counts[rows]
+        if len(counts):
+            seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        else:
+            seg_starts = np.zeros(0, dtype=np.intp)
+        total = int(counts.sum()) if len(counts) else 0
+        k = np.arange(total) - np.repeat(seg_starts, counts)
+        cell_idx = np.repeat(sp.offsets[rows], counts) + k
+        c = sp.cells
+        self.e_of = np.repeat(np.arange(len(rows)), counts)
+        self.seg_starts = seg_starts
+        self.iphpi0 = c.iph[cell_idx] + c.i0[cell_idx]
+        self.rs = c.rs[cell_idx]
+        self.rsh = c.rsh[cell_idx]
+        self.a = c.a[cell_idx]
+        self.log_k = np.log(c.i0[cell_idx] * c.rsh[cell_idx] / c.a[cell_idx])
+        self.neg_bypass = -sp.bypass[cell_idx]
+
+    def voltage(self, currents: np.ndarray) -> np.ndarray:
+        """String terminal voltage per evaluation point (see module notes)."""
+        i_cell = currents[self.e_of]
+        rd = self.rsh * (self.iphpi0 - i_cell)
+        w = lambertw_of_exp(self.log_k + rd / self.a)
+        v_cell = np.maximum(rd - i_cell * self.rs - self.a * w, self.neg_bypass)
+        return np.add.reduceat(v_cell, self.seg_starts)
+
+
+def string_voltage_at(
+    sp: StringParamArrays, rows: np.ndarray, currents: np.ndarray
+) -> np.ndarray:
+    """String terminal voltage per evaluation point ``(rows[e], currents[e])``.
+
+    Sums the reverse-capable per-cell voltage (finite-Rsh Lambert-W
+    form, no Isc guard) with each cell clamped at ``-bypass`` by its
+    ideal bypass diode.  Strictly decreasing in current, which is what
+    makes every downstream solve a bisection.
+    """
+    rows = np.asarray(rows, dtype=np.intp)
+    i = np.asarray(currents, dtype=float)
+    return _StringEval(sp, rows).voltage(i)
+
+
+def string_i_upper(sp: StringParamArrays) -> np.ndarray:
+    """Per-string bisection bracket top: ``max_cells(Iph + I0)``.
+
+    At this current every cell sits at or below zero volts (clamped or
+    not), so the string voltage is <= 0 — a valid upper bracket for any
+    solve targeting a voltage in the generating quadrant.
+    """
+    return np.maximum.reduceat(sp.cells.iph + sp.cells.i0, sp.offsets[:-1])
+
+
+def string_voc(sp: StringParamArrays) -> np.ndarray:
+    """Open-circuit voltage per string (terminal voltage at zero current)."""
+    n = len(sp)
+    return string_voltage_at(sp, np.arange(n, dtype=np.intp), np.zeros(n))
+
+
+def string_current_at(
+    sp: StringParamArrays,
+    rows: np.ndarray,
+    volts: np.ndarray,
+    iterations: int = STRING_BISECTION_ITERS,
+    _ev: "_StringEval | None" = None,
+) -> np.ndarray:
+    """String terminal current per evaluation point, clamped to >= 0.
+
+    Inverts the strictly-decreasing ``V(I)`` by bisection on
+    ``[0, i_upper]``.  Voltages at or above Voc return 0 (the engines
+    clamp non-generating operating points to zero power, so the reverse
+    branch above Voc is never needed).  ``_ev`` lets a caller that
+    solves the same row pattern every step reuse the gathered views.
+    """
+    rows = np.asarray(rows, dtype=np.intp)
+    v = np.asarray(volts, dtype=float)
+    ev = _ev if _ev is not None else _StringEval(sp, rows)
+    lo = np.zeros(len(rows))
+    hi = string_i_upper(sp)[rows].copy()
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        above = ev.voltage(mid) > v
+        lo = np.where(above, mid, lo)
+        hi = np.where(above, hi, mid)
+    out = 0.5 * (lo + hi)
+    # A voltage at/above Voc bisects onto the lower bracket edge; the
+    # midpoint there is a half-step above zero — snap it to exactly 0 so
+    # dark/over-voltage points report no generation.
+    voc = ev.voltage(np.zeros(len(rows)))
+    return np.where(v >= voc, 0.0, out)
+
+
+def string_isc(
+    sp: StringParamArrays, iterations: int = STRING_BISECTION_ITERS
+) -> np.ndarray:
+    """Short-circuit current per string (root of ``V(I) = 0``)."""
+    n = len(sp)
+    ev = _StringEval(sp, np.arange(n, dtype=np.intp))
+    lo = np.zeros(n)
+    hi = string_i_upper(sp).copy()
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        above = ev.voltage(mid) > 0.0
+        lo = np.where(above, mid, lo)
+        hi = np.where(above, hi, mid)
+    return 0.5 * (lo + hi)
+
+
+def string_loaded_point(
+    sp: StringParamArrays,
+    voc: np.ndarray,
+    load_resistance: np.ndarray,
+    iterations: int = STRING_BISECTION_ITERS,
+) -> np.ndarray:
+    """Terminal voltage of each string loaded by a resistor to ground.
+
+    The string analogue of :func:`batch_loaded_point`: solves
+    ``V(I) = I * R`` by bisection on the current axis (``g(I) = V(I) -
+    I*R`` is strictly decreasing, positive at 0 for a lit string and
+    negative at the bracket top).  Dark strings return 0.
+    """
+    n = len(sp)
+    voc = np.asarray(voc, dtype=float)
+    r = np.broadcast_to(np.asarray(load_resistance, dtype=float), voc.shape)
+    ev = _StringEval(sp, np.arange(n, dtype=np.intp))
+    lo = np.zeros(n)
+    hi = string_i_upper(sp).copy()
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        above = ev.voltage(mid) - mid * r > 0.0
+        lo = np.where(above, mid, lo)
+        hi = np.where(above, hi, mid)
+    i_op = 0.5 * (lo + hi)
+    return np.where(voc > 0.0, i_op * r, 0.0)
+
+
+def string_bypass_knees(
+    sp: StringParamArrays, iterations: int = STRING_BISECTION_ITERS
+) -> "list":
+    """Terminal voltages where a bypass diode switches state, per string.
+
+    Each cell's voltage is strictly decreasing in string current, so the
+    current where it crosses its ``-bypass`` clamp is a bisection root;
+    the string terminal voltage at that current is a slope discontinuity
+    ("knee") of the terminal P-V curve — the feature knee-aligned LUT
+    grids must place a node on.  Cells whose clamp never engages inside
+    the operating bracket ``[0, i_upper]`` (uniform light, or a bypass
+    drop larger than the cell's full reverse excursion) contribute no
+    knee.  Returns one sorted list of knee voltages per string.
+    """
+    n = len(sp)
+    if n == 0:
+        return []
+    c = sp.cells
+    row_of = np.repeat(np.arange(n, dtype=np.intp), sp.counts)
+    hi0 = string_i_upper(sp)[row_of]
+    iphpi0 = c.iph + c.i0
+    log_k = np.log(c.i0 * c.rsh / c.a)
+    neg_bypass = -sp.bypass
+
+    def v_cell(i: np.ndarray) -> np.ndarray:
+        rd = c.rsh * (iphpi0 - i)
+        w = lambertw_of_exp(log_k + rd / c.a)
+        return rd - i * c.rs - c.a * w
+
+    crossing = np.isfinite(sp.bypass) & (v_cell(hi0) < neg_bypass)
+    lo = np.zeros(len(row_of))
+    hi = hi0.copy()
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        above = v_cell(mid) > neg_bypass
+        lo = np.where(above, mid, lo)
+        hi = np.where(above, hi, mid)
+    i_knee = 0.5 * (lo + hi)
+    knees: list = [[] for _ in range(n)]
+    if crossing.any():
+        rows = row_of[crossing]
+        v_knee = string_voltage_at(sp, rows, i_knee[crossing])
+        for r, v in zip(rows.tolist(), v_knee.tolist()):
+            knees[r].append(v)
+    for r in range(n):
+        knees[r].sort()
+    return knees
+
+
+def string_mpp(
+    sp: StringParamArrays,
+    grid_points: int = 257,
+    refine_iterations: int = 80,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, list]":
+    """Multi-modal MPP search over every string in the stack.
+
+    A mismatched string's P-V curve has one local maximum per distinct
+    irradiance group (bypass knees), so unimodal golden section is not
+    enough.  This samples ``P(I) = I * V(I)`` on a uniform current grid,
+    brackets every interior local maximum, refines each bracket with a
+    vectorized golden-section pass, and keeps the full list of refined
+    local maxima per string.
+
+    Returns:
+        ``(v_mpp, i_mpp, p_mpp, maxima)`` — the global MPP arrays plus,
+        per string, a list of ``(voltage, current, power)`` local maxima
+        sorted by voltage (the multi-knee structure; length >= 2 under
+        partial shading).
+    """
+    n = len(sp)
+    if n == 0:
+        empty = np.empty(0)
+        return empty, empty.copy(), empty.copy(), []
+    i_upper = string_i_upper(sp)
+    voc = string_voc(sp)
+    active = voc > 0.0
+
+    frac = np.linspace(0.0, 1.0, grid_points)
+    rows = np.repeat(np.arange(n, dtype=np.intp), grid_points)
+    i_grid = (i_upper[:, None] * frac[None, :]).ravel()
+    v_grid = string_voltage_at(sp, rows, i_grid).reshape(n, grid_points)
+    p_grid = v_grid * i_grid.reshape(n, grid_points)
+
+    # Interior local maxima of the sampled power (>= both neighbours).
+    interior = p_grid[:, 1:-1]
+    is_max = (
+        (interior >= p_grid[:, :-2])
+        & (interior >= p_grid[:, 2:])
+        & (interior > 0.0)
+        & active[:, None]
+    )
+    max_rows, max_cols = np.nonzero(is_max)
+    max_cols = max_cols + 1  # offset for the sliced interior view
+
+    # One golden-section refinement per bracketed maximum, vectorized.
+    b_rows = max_rows.astype(np.intp)
+    b_lo = i_grid.reshape(n, grid_points)[max_rows, max_cols - 1]
+    b_hi = i_grid.reshape(n, grid_points)[max_rows, max_cols + 1]
+    b_ev = _StringEval(sp, b_rows)
+
+    def p_of(i_val: np.ndarray) -> np.ndarray:
+        return i_val * b_ev.voltage(i_val)
+
+    lo, hi = b_lo.copy(), b_hi.copy()
+    x1 = hi - _INV_PHI * (hi - lo)
+    x2 = lo + _INV_PHI * (hi - lo)
+    p1, p2 = p_of(x1), p_of(x2)
+    for _ in range(refine_iterations):
+        move = p1 < p2  # maximum sits in the upper sub-bracket
+        new_lo = np.where(move, x1, lo)
+        new_hi = np.where(move, hi, x2)
+        new_x1 = np.where(move, x2, new_hi - _INV_PHI * (new_hi - new_lo))
+        new_x2 = np.where(move, new_lo + _INV_PHI * (new_hi - new_lo), x1)
+        fresh = np.where(move, new_x2, new_x1)
+        p_fresh = p_of(fresh)
+        new_p1 = np.where(move, p2, p_fresh)
+        new_p2 = np.where(move, p_fresh, p1)
+        lo, hi, x1, x2, p1, p2 = new_lo, new_hi, new_x1, new_x2, new_p1, new_p2
+    i_star = 0.5 * (lo + hi)
+    v_star = b_ev.voltage(i_star)
+    p_star = i_star * v_star
+
+    v_mpp = np.zeros(n)
+    i_mpp = np.zeros(n)
+    p_mpp = np.zeros(n)
+    maxima: list = [[] for _ in range(n)]
+    for j in range(len(b_rows)):
+        r = int(b_rows[j])
+        entry = (float(v_star[j]), float(i_star[j]), float(p_star[j]))
+        # Merge refinements that converged onto the same knee.
+        merged = False
+        for idx, known in enumerate(maxima[r]):
+            if abs(known[1] - entry[1]) <= 1e-9 * max(i_upper[r], 1e-30):
+                if entry[2] > known[2]:
+                    maxima[r][idx] = entry
+                merged = True
+                break
+        if not merged:
+            maxima[r].append(entry)
+        if entry[2] > p_mpp[r]:
+            v_mpp[r], i_mpp[r], p_mpp[r] = entry
+    for r in range(n):
+        maxima[r].sort(key=lambda knee: knee[0])
+    return v_mpp, i_mpp, p_mpp, maxima
+
+
 def batch_mpp(
     cell,
     lux_levels: Sequence[float],

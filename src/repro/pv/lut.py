@@ -47,6 +47,16 @@ DEFAULT_REL_BUDGET = 1e-3
 DEFAULT_ABS_FLOOR = 1e-9
 """Absolute error-scale floor, watts — keeps dark rows from dividing by ~0."""
 
+MIXED_GRID_POINTS = 385
+"""Default nodes per row when string conditions are present.
+
+String P(V) curves are only piecewise-smooth, and each shaded cell
+adds its own exponential knee just below the bypass activation; even
+with knee-aligned node placement the inter-knee curvature needs about
+triple the plain-cell density to hold :data:`DEFAULT_REL_BUDGET`
+(measured worst case ~6e-4 at 385 vs ~1.4e-3 at 257 over a 24 h
+shaded-string condition census)."""
+
 
 @dataclass(frozen=True)
 class LUTValidationReport:
@@ -113,10 +123,12 @@ class CellPowerLUT:
 
         u = np.linspace(0.0, 1.0, self.grid_points)
         self._x_grid = 1.0 - (1.0 - u) ** 2  # fraction of Voc per node
-        volts = self.voc[:, None] * self._x_grid[None, :]
+        volts = self._node_grid()
+        self._nodes = volts
+        self._nodes_flat = np.ascontiguousarray(volts.ravel())
         conditions = len(self.voc)
-        tiled = self._tile_params(conditions, self.grid_points)
-        current = batch_current_at(tiled, volts.ravel())
+        rows = np.repeat(np.arange(conditions, dtype=np.int64), self.grid_points)
+        current = self._exact_current(rows, volts.ravel())
         power = np.maximum(0.0, volts.ravel() * current)
         self.power_table = np.ascontiguousarray(power.reshape(conditions, self.grid_points))
         # Rows whose Voc is zero (dark conditions) are all-zero by
@@ -128,12 +140,29 @@ class CellPowerLUT:
         self.scale = np.maximum(self.power_table.max(axis=1), self.abs_floor)
         self._flat = self.power_table.ravel()
 
+    closed_form = True
+    """Whether lookup uses the shared closed-form u-map (no node search).
+
+    Engines that inline the lookup (the compiled kernels) branch on
+    this: True means the quadratic ``u = 1 - sqrt(1 - v/voc)`` index
+    arithmetic; False means a binary search over the row's own node
+    voltages (:class:`MixedPowerLUT`'s knee-aligned grids).
+    """
+
     # --- construction helpers ----------------------------------------------
 
-    def _tile_params(self, conditions: int, repeat: int):
-        cls = type(self.params)
-        fields = ("iph", "i0", "a", "rs", "rsh")
-        return cls(*[np.repeat(getattr(self.params, f), repeat) for f in fields])
+    def _node_grid(self) -> np.ndarray:
+        """Per-condition voltage nodes, shape (conditions, grid_points)."""
+        return self.voc[:, None] * self._x_grid[None, :]
+
+    def _exact_current(self, indices: np.ndarray, volts: np.ndarray) -> np.ndarray:
+        """Exact terminal current at (condition index, voltage) pairs.
+
+        The one place table construction and the validation gate touch
+        the underlying curve family; :class:`MixedPowerLUT` overrides it
+        to route string conditions through the series-string bisection.
+        """
+        return batch_current_at(take_params(self.params, indices), volts)
 
     @classmethod
     def from_models(
@@ -200,6 +229,19 @@ class CellPowerLUT:
 
     # --- validation gate ----------------------------------------------------
 
+    def _validation_points(self, chosen: np.ndarray) -> tuple:
+        """Worst-case probe voltages for the gate: interval midpoints.
+
+        The base class interpolates linearly in ``u``, so its worst case
+        sits at u-space midpoints; subclasses with different interpolants
+        override this with their own midpoints.
+        """
+        g = self.grid_points
+        u_mid = (np.arange(g - 1) + 0.5) / (g - 1)
+        x_mid = 1.0 - (1.0 - u_mid) ** 2
+        volts = self.voc[chosen, None] * x_mid[None, :]
+        return np.repeat(chosen, g - 1), volts.ravel()
+
     def validate(self, max_conditions: int = 64) -> LUTValidationReport:
         """Measure worst-case error at interval midpoints; gate on budget.
 
@@ -227,14 +269,10 @@ class CellPowerLUT:
             chosen = np.unique(np.append(spread, peak))
 
         g = self.grid_points
-        u_mid = (np.arange(g - 1) + 0.5) / (g - 1)
-        x_mid = 1.0 - (1.0 - u_mid) ** 2
-        volts = self.voc[chosen, None] * x_mid[None, :]
-        idx = np.repeat(chosen, g - 1)
-        flat_v = volts.ravel()
+        idx, flat_v = self._validation_points(chosen)
 
         approx = self.power_many(idx, flat_v)
-        exact_i = batch_current_at(take_params(self.params, idx), flat_v)
+        exact_i = self._exact_current(idx, flat_v)
         exact = np.maximum(0.0, flat_v * exact_i)
         err = np.abs(approx - exact)
         rel = err / self.scale[idx]
@@ -258,3 +296,217 @@ class CellPowerLUT:
                 rel_budget=self.rel_budget,
             )
         return report
+
+
+def _segment_nodes(edges: Sequence[float], grid_points: int) -> np.ndarray:
+    """Voltage nodes over ``edges``-delimited segments, one row.
+
+    Intervals are allocated to segments proportionally to their span
+    (at least two per segment, so every knee keeps interior neighbours),
+    and placed inside each segment on a cosine (Chebyshev-style) map —
+    clustering toward both segment ends, where a piecewise curve bends
+    hardest.  Every edge, knees included, lands exactly on a node.
+    """
+    spans = np.diff(np.asarray(edges, dtype=float))
+    segments = len(spans)
+    total = grid_points - 1
+    floor = max(1, min(2, total // segments))
+    alloc = np.maximum(floor, np.round(total * spans / spans.sum()).astype(np.int64))
+    while alloc.sum() > total:
+        alloc[int(np.argmax(alloc))] -= 1
+    while alloc.sum() < total:
+        alloc[int(np.argmin(alloc / np.maximum(spans, 1e-300)))] += 1
+    nodes = [0.0]
+    for k in range(segments):
+        u = np.arange(1, alloc[k] + 1) / float(alloc[k])
+        x = 0.5 * (1.0 - np.cos(np.pi * u))
+        nodes.extend((edges[k] + spans[k] * x).tolist())
+    return np.asarray(nodes)
+
+
+class MixedPowerLUT(CellPowerLUT):
+    """Power tables over a mixed population of cells and series strings.
+
+    The condition axis stays global — engines index rows with the same
+    ``u`` values regardless of family — and the exact-curve hook routes
+    each row to its family's solver: single-diode Lambert-W for cells,
+    series-string bisection (:func:`repro.pv.batch.string_current_at`)
+    for strings.
+
+    A mismatched string's P(V) curve has a slope discontinuity at every
+    bypass activation, where the shared closed-form u-grid converges
+    only at O(h); string rows therefore get *knee-aligned* grids — a
+    node placed exactly on each knee (:func:`repro.pv.batch.string_bypass_knees`)
+    with cosine clustering inside each smooth segment — and lookup
+    becomes a per-row binary search with linear-in-voltage
+    interpolation (:attr:`closed_form` is False, which is how the
+    compiled kernels know to search instead of index).  The validation
+    gate is unchanged: worst-case midpoint error against the exact
+    kernels, same declared budget.
+
+    Args:
+        params: stacked params of the *plain* conditions, or None when
+            every condition is a string.
+        voc: per-condition Voc, volts — global axis.
+        sp: stacked string params (:func:`repro.pv.batch.stack_string_params`)
+            of the string conditions, or None.
+        u_to_plain / u_to_string: global condition index -> row in the
+            family stack (-1 where the condition belongs to the other
+            family).
+    """
+
+    closed_form = False
+
+    def __init__(
+        self,
+        params,
+        voc: np.ndarray,
+        *,
+        sp,
+        u_to_plain: np.ndarray,
+        u_to_string: np.ndarray,
+        **kwargs,
+    ):
+        self.sp = sp
+        self.u_to_plain = np.asarray(u_to_plain, dtype=np.int64)
+        self.u_to_string = np.asarray(u_to_string, dtype=np.int64)
+        super().__init__(params, voc, **kwargs)
+        self._search_iters = max(1, int(math.ceil(math.log2(self.grid_points))))
+
+    # --- construction -------------------------------------------------------
+
+    def _node_grid(self) -> np.ndarray:
+        from repro.pv.batch import string_bypass_knees
+
+        g = self.grid_points
+        nodes = self.voc[:, None] * self._x_grid[None, :]
+        # Dark rows stay strictly increasing so binary search is
+        # well-defined (their table rows are forced to zero anyway).
+        dark = np.nonzero(self.voc <= 0.0)[0]
+        if len(dark):
+            nodes[dark] = np.linspace(0.0, 1.0, g)[None, :]
+        knees_per_string = string_bypass_knees(self.sp)
+        for u in np.nonzero(self.u_to_string >= 0)[0]:
+            voc = float(self.voc[u])
+            if voc <= 0.0:
+                continue
+            edges = [0.0]
+            for v in knees_per_string[int(self.u_to_string[u])]:
+                if edges[-1] + 1e-3 * voc < v < voc * (1.0 - 1e-3):
+                    edges.append(float(v))
+            edges.append(voc)
+            nodes[u] = _segment_nodes(edges, g)
+        return nodes
+
+    def _exact_current(self, indices: np.ndarray, volts: np.ndarray) -> np.ndarray:
+        from repro.pv.batch import string_current_at
+
+        current = np.empty(volts.shape[0])
+        s_rows = self.u_to_string[indices]
+        p_pos = np.nonzero(s_rows < 0)[0]
+        if len(p_pos):
+            current[p_pos] = batch_current_at(
+                take_params(self.params, self.u_to_plain[indices[p_pos]]),
+                volts[p_pos],
+            )
+        s_pos = np.nonzero(s_rows >= 0)[0]
+        if len(s_pos):
+            current[s_pos] = string_current_at(self.sp, s_rows[s_pos], volts[s_pos])
+        return current
+
+    # --- evaluation ---------------------------------------------------------
+
+    def power(self, index: int, v: float) -> float:
+        """Interpolated harvested power for one condition, watts."""
+        voc = self._flat_voc(index)
+        if v <= 0.0 or voc <= 0.0 or v >= voc:
+            return 0.0
+        g = self.grid_points
+        base = index * g
+        nodes = self._nodes_flat
+        lo, hi = 0, g - 1
+        while hi - lo > 1:
+            mid = (lo + hi) >> 1
+            if nodes[base + mid] <= v:
+                lo = mid
+            else:
+                hi = mid
+        n0 = nodes[base + lo]
+        n1 = nodes[base + lo + 1]
+        w = (v - n0) / (n1 - n0) if n1 > n0 else 0.0
+        p0 = self._flat[base + lo]
+        return float(p0 + (self._flat[base + lo + 1] - p0) * w)
+
+    def power_many(self, indices: np.ndarray, volts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power`: per-row binary search + linear interp."""
+        indices = np.asarray(indices, dtype=np.int64)
+        volts = np.asarray(volts, dtype=float)
+        voc = self.voc[indices]
+        ok = (volts > 0.0) & (voc > 0.0) & (volts < voc)
+        g = self.grid_points
+        base = indices * g
+        nodes = self._nodes_flat
+        lo = np.zeros(indices.shape[0], dtype=np.int64)
+        hi = np.full(indices.shape[0], g - 1, dtype=np.int64)
+        for _ in range(self._search_iters):
+            done = hi - lo <= 1
+            mid = (lo + hi) >> 1
+            below = nodes[base + mid] <= volts
+            lo = np.where(~done & below, mid, lo)
+            hi = np.where(~done & ~below, mid, hi)
+        n0 = nodes[base + lo]
+        n1 = nodes[base + lo + 1]
+        den = n1 - n0
+        w = np.where(den > 0.0, (volts - n0) / np.where(den > 0.0, den, 1.0), 0.0)
+        p0 = self._flat[base + lo]
+        p1 = self._flat[base + lo + 1]
+        return np.where(ok, p0 + (p1 - p0) * w, 0.0)
+
+    # --- validation ---------------------------------------------------------
+
+    def _validation_points(self, chosen: np.ndarray) -> tuple:
+        """Voltage-space interval midpoints (the linear-in-V worst case)."""
+        volts = 0.5 * (self._nodes[chosen, :-1] + self._nodes[chosen, 1:])
+        return np.repeat(chosen, self.grid_points - 1), volts.ravel()
+
+
+def lut_for_models(
+    models: Sequence[object],
+    *,
+    voc: Optional[np.ndarray] = None,
+    **kwargs,
+) -> CellPowerLUT:
+    """Build the right LUT family for a model population.
+
+    All-cell populations get a plain :class:`CellPowerLUT` (bit-identical
+    to the historical construction); populations containing any
+    :class:`~repro.pv.string.StringModel` get a :class:`MixedPowerLUT`
+    with the string rows routed through the string kernels.  The row
+    order (and hence every engine-side condition index) follows the
+    input order either way.
+    """
+    from repro.pv.batch import stack_string_params
+
+    models = list(models)
+    is_string = [getattr(m, "cells", None) is not None for m in models]
+    if voc is None:
+        voc = np.array([m.voc() for m in models], dtype=float)
+    else:
+        voc = np.asarray(voc, dtype=float)
+    if not any(is_string):
+        return CellPowerLUT(stack_model_params(models), voc, **kwargs)
+    kwargs.setdefault("grid_points", MIXED_GRID_POINTS)
+    n = len(models)
+    u_to_plain = np.full(n, -1, dtype=np.int64)
+    u_to_string = np.full(n, -1, dtype=np.int64)
+    plain = [m for m, s in zip(models, is_string) if not s]
+    strings = [m for m, s in zip(models, is_string) if s]
+    u_to_plain[np.nonzero(~np.array(is_string))[0]] = np.arange(len(plain))
+    u_to_string[np.nonzero(np.array(is_string))[0]] = np.arange(len(strings))
+    params = stack_model_params(plain) if plain else None
+    sp = stack_string_params(
+        [m.cells for m in strings], [m.bypass_drop for m in strings]
+    )
+    return MixedPowerLUT(
+        params, voc, sp=sp, u_to_plain=u_to_plain, u_to_string=u_to_string, **kwargs
+    )

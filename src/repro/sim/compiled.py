@@ -59,6 +59,7 @@ from repro.pv.lut import (
     DEFAULT_GRID_POINTS,
     DEFAULT_REL_BUDGET,
     CellPowerLUT,
+    lut_for_models,
 )
 from repro.pv.batch import stack_model_params
 from repro.sim.fleet import FleetMember, FleetSimulator
@@ -149,6 +150,8 @@ def _lane_kernel_py(
     grid_points,
     gm1,
     kmax,
+    uniform,
+    nodes_flat,
     has_conv,
     conv_on,
     conv_min_vin,
@@ -195,15 +198,34 @@ def _lane_kernel_py(
                 vop = supply + _BOOT_DROP
                 voc = voc_row[i]
                 if 0.0 < vop < voc:
-                    x = vop / voc
-                    uu = 1.0 - math.sqrt(1.0 - x)
-                    f = uu * gm1
-                    k = int(f)
-                    if k > kmax:
-                        k = kmax
-                    b = u_row[i] * grid_points + k
+                    b_i = u_row[i] * grid_points
+                    if uniform:
+                        x = vop / voc
+                        uu = 1.0 - math.sqrt(1.0 - x)
+                        f = uu * gm1
+                        k = int(f)
+                        if k > kmax:
+                            k = kmax
+                        w = f - k
+                    else:
+                        klo = 0
+                        khi = grid_points - 1
+                        while khi - klo > 1:
+                            kmid = (klo + khi) >> 1
+                            if nodes_flat[b_i + kmid] <= vop:
+                                klo = kmid
+                            else:
+                                khi = kmid
+                        k = klo
+                        n0 = nodes_flat[b_i + k]
+                        n1 = nodes_flat[b_i + k + 1]
+                        if n1 > n0:
+                            w = (vop - n0) / (n1 - n0)
+                        else:
+                            w = 0.0
+                    b = b_i + k
                     p0 = lut_flat[b]
-                    pv = p0 + (lut_flat[b + 1] - p0) * (f - k)
+                    pv = p0 + (lut_flat[b + 1] - p0) * w
         elif mode == 0:
             pv = pv_row[i]
             if oh_type == 1:
@@ -219,15 +241,34 @@ def _lane_kernel_py(
                 vop = supply + drop
                 voc = voc_row[i]
                 if 0.0 < vop < voc:
-                    x = vop / voc
-                    uu = 1.0 - math.sqrt(1.0 - x)
-                    f = uu * gm1
-                    k = int(f)
-                    if k > kmax:
-                        k = kmax
-                    b = u_row[i] * grid_points + k
+                    b_i = u_row[i] * grid_points
+                    if uniform:
+                        x = vop / voc
+                        uu = 1.0 - math.sqrt(1.0 - x)
+                        f = uu * gm1
+                        k = int(f)
+                        if k > kmax:
+                            k = kmax
+                        w = f - k
+                    else:
+                        klo = 0
+                        khi = grid_points - 1
+                        while khi - klo > 1:
+                            kmid = (klo + khi) >> 1
+                            if nodes_flat[b_i + kmid] <= vop:
+                                klo = kmid
+                            else:
+                                khi = kmid
+                        k = klo
+                        n0 = nodes_flat[b_i + k]
+                        n1 = nodes_flat[b_i + k + 1]
+                        if n1 > n0:
+                            w = (vop - n0) / (n1 - n0)
+                        else:
+                            w = 0.0
+                    b = b_i + k
                     p0 = lut_flat[b]
-                    pv = p0 + (lut_flat[b + 1] - p0) * (f - k)
+                    pv = p0 + (lut_flat[b + 1] - p0) * w
         else:
             # hill climbing: probe at the held point, perturb, track.
             oh_w = oh_row[i] * supply
@@ -239,15 +280,34 @@ def _lane_kernel_py(
                 if t_now >= h_next:
                     probe = 0.0
                     if 0.0 < h_vop < voc:
-                        x = h_vop / voc
-                        uu = 1.0 - math.sqrt(1.0 - x)
-                        f = uu * gm1
-                        k = int(f)
-                        if k > kmax:
-                            k = kmax
-                        b = u_row[i] * grid_points + k
+                        b_i = u_row[i] * grid_points
+                        if uniform:
+                            x = h_vop / voc
+                            uu = 1.0 - math.sqrt(1.0 - x)
+                            f = uu * gm1
+                            k = int(f)
+                            if k > kmax:
+                                k = kmax
+                            w = f - k
+                        else:
+                            klo = 0
+                            khi = grid_points - 1
+                            while khi - klo > 1:
+                                kmid = (klo + khi) >> 1
+                                if nodes_flat[b_i + kmid] <= h_vop:
+                                    klo = kmid
+                                else:
+                                    khi = kmid
+                            k = klo
+                            n0 = nodes_flat[b_i + k]
+                            n1 = nodes_flat[b_i + k + 1]
+                            if n1 > n0:
+                                w = (h_vop - n0) / (n1 - n0)
+                            else:
+                                w = 0.0
+                        b = b_i + k
                         p0 = lut_flat[b]
-                        probe = p0 + (lut_flat[b + 1] - p0) * (f - k)
+                        probe = p0 + (lut_flat[b + 1] - p0) * w
                     if probe < h_prev:
                         h_dir = -h_dir
                     h_prev = probe
@@ -261,15 +321,34 @@ def _lane_kernel_py(
                     h_next = t_now + h_period
                 vop = h_vop
                 if 0.0 < vop < voc:
-                    x = vop / voc
-                    uu = 1.0 - math.sqrt(1.0 - x)
-                    f = uu * gm1
-                    k = int(f)
-                    if k > kmax:
-                        k = kmax
-                    b = u_row[i] * grid_points + k
+                    b_i = u_row[i] * grid_points
+                    if uniform:
+                        x = vop / voc
+                        uu = 1.0 - math.sqrt(1.0 - x)
+                        f = uu * gm1
+                        k = int(f)
+                        if k > kmax:
+                            k = kmax
+                        w = f - k
+                    else:
+                        klo = 0
+                        khi = grid_points - 1
+                        while khi - klo > 1:
+                            kmid = (klo + khi) >> 1
+                            if nodes_flat[b_i + kmid] <= vop:
+                                klo = kmid
+                            else:
+                                khi = kmid
+                        k = klo
+                        n0 = nodes_flat[b_i + k]
+                        n1 = nodes_flat[b_i + k + 1]
+                        if n1 > n0:
+                            w = (vop - n0) / (n1 - n0)
+                        else:
+                            w = 0.0
+                    b = b_i + k
                     p0 = lut_flat[b]
-                    pv = p0 + (lut_flat[b + 1] - p0) * (f - k)
+                    pv = p0 + (lut_flat[b + 1] - p0) * w
 
         # Converter transfer (series lanes precomputed theirs).
         if mode == 0 and not boot:
@@ -382,6 +461,8 @@ def _fleet_kernel_py(
     grid_points,
     gm1,
     kmax,
+    uniform,
+    nodes_flat,
     alpha,
     t_on,
     period,
@@ -552,15 +633,34 @@ def _fleet_kernel_py(
             # --- PV power via the LUT ---------------------------------
             pv = 0.0
             if valid and lux > 0.0 and v_op > 0.0:
-                x = v_op / voc
-                uu = 1.0 - math.sqrt(1.0 - x)
-                f = uu * gm1
-                k = int(f)
-                if k > kmax:
-                    k = kmax
-                b = u * grid_points + k
+                b_i = u * grid_points
+                if uniform:
+                    x = v_op / voc
+                    uu = 1.0 - math.sqrt(1.0 - x)
+                    f = uu * gm1
+                    k = int(f)
+                    if k > kmax:
+                        k = kmax
+                    w = f - k
+                else:
+                    klo = 0
+                    khi = grid_points - 1
+                    while khi - klo > 1:
+                        kmid = (klo + khi) >> 1
+                        if nodes_flat[b_i + kmid] <= v_op:
+                            klo = kmid
+                        else:
+                            khi = kmid
+                    k = klo
+                    n0 = nodes_flat[b_i + k]
+                    n1 = nodes_flat[b_i + k + 1]
+                    if n1 > n0:
+                        w = (v_op - n0) / (n1 - n0)
+                    else:
+                        w = 0.0
+                b = b_i + k
                 p0 = lut_flat[b]
-                pv = (p0 + (lut_flat[b + 1] - p0) * (f - k)) * duty
+                pv = (p0 + (lut_flat[b + 1] - p0) * w) * duty
 
             # --- converter transfer -----------------------------------
             delivered = pv
@@ -748,7 +848,7 @@ class _ScenarioTables:
         self,
         cell,
         pc,
-        grid_points: int,
+        grid_points: Optional[int],
         rel_budget: float,
     ):
         self.cell = cell
@@ -791,10 +891,11 @@ class _ScenarioTables:
         self.vmpp_u = vmpp
         self.pmpp_u = pmpp
 
-        self.params = stack_model_params(unique)
-        self.lut = CellPowerLUT(
-            self.params, self.voc_u, grid_points=grid_points, rel_budget=rel_budget
-        )
+        lut_kwargs = {"rel_budget": rel_budget}
+        if grid_points is not None:
+            lut_kwargs["grid_points"] = grid_points
+        self.lut = lut_for_models(unique, voc=self.voc_u, **lut_kwargs)
+        self.params = self.lut.params
         self.lut_report = self.lut.validate()
 
         # energy_ideal replay: quantised (Iph, T) MPP cache, first claim
@@ -806,7 +907,9 @@ class _ScenarioTables:
             if lux_u[k] <= 0.0 or iph <= 0.0:
                 ideal_u[k] = 0.0
             else:
-                qkey = (round(math.log(iph) * 400.0), round(m.temperature * 2.0))
+                qkey = getattr(m, "ideal_cache_key", None)
+                if qkey is None:
+                    qkey = (round(math.log(iph) * 400.0), round(m.temperature * 2.0))
                 cached = mpp_cache.get(qkey)
                 if cached is None:
                     cached = m.mpp().power
@@ -825,6 +928,11 @@ class _ScenarioTables:
         g = self.lut.grid_points
         self.gm1 = float(g - 1)
         self.kmax = g - 2
+        # closed_form tables use the quadratic u-map; knee-aligned
+        # (mixed/string) tables make the kernels binary-search their
+        # per-row node voltages instead.
+        self.uniform = bool(self.lut.closed_form)
+        self.nodes_flat = self.lut._nodes_flat
 
         # List twins for the interpreted kernel.
         self.times_l = self.times.tolist()
@@ -832,6 +940,7 @@ class _ScenarioTables:
         self.voc_row_l = self.voc_row.tolist()
         self.lit_row_l = self.lit_row.tolist()
         self.flat_l = self.lut._flat.tolist()
+        self.nodes_l = self.nodes_flat.tolist()
 
         self._lanes: Dict[tuple, Optional[_LaneProgram]] = {}
 
@@ -1151,7 +1260,24 @@ def clear_program_cache() -> None:
     _PROGRAM_CACHE.clear()
 
 
+def _cell_area_cm2(cell) -> float:
+    """Active area for thermal modelling — cells and strings alike."""
+    params = getattr(cell, "parameters", None)
+    if params is not None:
+        return float(params.area_cm2)
+    return float(cell.area_cm2)
+
+
 def _cell_fingerprint(cell) -> tuple:
+    if getattr(cell, "cells", None) is not None:
+        return (
+            "string",
+            type(cell).__name__,
+            int(cell.n_cells),
+            cell.bypass_drop,
+            tuple(cell.mismatch),
+            _cell_fingerprint(cell.cells[0]),
+        )
     items = []
     for k, val in sorted(vars(cell.parameters).items()):
         if isinstance(val, (int, float, bool, str)):
@@ -1166,17 +1292,19 @@ def _tables_for(
     duration: float,
     dt: float,
     use_thermal: bool,
-    grid_points: int,
+    grid_points: Optional[int],
     rel_budget: float,
+    shading=None,
+    shading_name: Optional[str] = None,
 ) -> _ScenarioTables:
     """Cached scenario program; the scenario *name* identifies the trace.
 
     Programs are expensive (condition precompute + table build), and
     benchmark / sweep workloads re-run identical scenarios, so a small
-    FIFO keyed on (cell parameters, scenario name, horizon, LUT knobs)
-    amortizes them.  Scenario names are assumed to identify their
-    environment factory — true for the registry scenarios every
-    experiment uses.
+    FIFO keyed on (cell parameters, scenario name, horizon, LUT knobs,
+    shadow-map name) amortizes them.  Scenario / shading names are
+    assumed to identify their factories — true for the registry
+    scenarios and shadow maps every experiment uses.
     """
     key = (
         _cell_fingerprint(cell),
@@ -1184,8 +1312,9 @@ def _tables_for(
         float(duration),
         float(dt),
         bool(use_thermal),
-        int(grid_points),
+        grid_points if grid_points is None else int(grid_points),
         float(rel_budget),
+        None if shading is None else (shading_name or repr(shading)),
     )
     tables = _PROGRAM_CACHE.get(key)
     if tables is None:
@@ -1193,9 +1322,11 @@ def _tables_for(
         from repro.sim.precompute import precompute_conditions
 
         thermal = (
-            CellThermalModel(area_cm2=cell.parameters.area_cm2) if use_thermal else None
+            CellThermalModel(area_cm2=_cell_area_cm2(cell)) if use_thermal else None
         )
-        pc = precompute_conditions(cell, scenario_factory(), duration, dt, thermal=thermal)
+        pc = precompute_conditions(
+            cell, scenario_factory(), duration, dt, thermal=thermal, shading=shading
+        )
         tables = _ScenarioTables(cell, pc, grid_points, rel_budget)
         _PROGRAM_CACHE[key] = tables
         while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAX:
@@ -1249,6 +1380,7 @@ def _run_lane(
         voc_row = tables.voc_row
         lit_row = tables.lit_row
         flat = tables.lut._flat
+        nodes = tables.nodes_flat
     else:
         pv_l, del_l, oh_l = prog.rows_as_lists()
         rows = (np.asarray(pv_l), np.asarray(del_l), np.asarray(oh_l))
@@ -1259,6 +1391,7 @@ def _run_lane(
         voc_row = tables.voc_row_l
         lit_row = tables.lit_row_l
         flat = tables.flat_l
+        nodes = tables.nodes_l
     pv_row, del_row, oh_row = rows
 
     e_cell, e_del, e_over, v_final, first_boot = _lane_kernel(
@@ -1279,6 +1412,8 @@ def _run_lane(
         tables.lut.grid_points,
         tables.gm1,
         tables.kmax,
+        tables.uniform,
+        nodes,
         has_conv,
         conv_on,
         cmv,
@@ -1329,6 +1464,8 @@ def run_comparison_scenario(
     supply_voltage: float = 3.0,
     grid_points: Optional[int] = None,
     rel_budget: Optional[float] = None,
+    shading=None,
+    shading_name: Optional[str] = None,
 ):
     """Run comparison lanes on the compiled tier.
 
@@ -1342,7 +1479,12 @@ def run_comparison_scenario(
         duration / dt: run horizon, seconds.
         use_thermal: heat the cell from absorbed light.
         supply_voltage: controller rail when no storage is attached.
-        grid_points / rel_budget: LUT knobs (None: module defaults).
+        grid_points / rel_budget: LUT knobs (None: module defaults —
+            string populations pick the denser knee-aligned default).
+        shading: optional :class:`~repro.env.shading.ShadowMap` driving
+            per-cell factors (string cells only).
+        shading_name: registry name of the shadow map (cache identity);
+            required for program-cache hits when ``shading`` is set.
 
     Returns:
         ``(results, precomputed)`` where ``results`` maps each technique
@@ -1351,10 +1493,19 @@ def run_comparison_scenario(
         photodiode calibration valve), which the caller should re-run on
         the scalar engine against the returned precomputed conditions.
     """
-    gp = DEFAULT_GRID_POINTS if grid_points is None else int(grid_points)
+    gp = grid_points if grid_points is None else int(grid_points)
     rb = DEFAULT_REL_BUDGET if rel_budget is None else float(rel_budget)
     tables = _tables_for(
-        cell, scenario_name, scenario_factory, duration, dt, use_thermal, gp, rb
+        cell,
+        scenario_name,
+        scenario_factory,
+        duration,
+        dt,
+        use_thermal,
+        gp,
+        rb,
+        shading=shading,
+        shading_name=shading_name,
     )
     results: Dict[str, Optional[HarvestSummary]] = {}
     steps_done = 0
@@ -1415,10 +1566,12 @@ class CompiledFleetSimulator(FleetSimulator):
             raise ModelParameterError(
                 f"fused must be 'auto', 'python' or 'off', got {fused!r}"
             )
-        gp = DEFAULT_GRID_POINTS if grid_points is None else int(grid_points)
         rb = DEFAULT_REL_BUDGET if rel_budget is None else float(rel_budget)
-        self.lut = CellPowerLUT(
-            self._params_all, self._voc_all, grid_points=gp, rel_budget=rb
+        lut_kwargs = {"rel_budget": rb}
+        if grid_points is not None:
+            lut_kwargs["grid_points"] = int(grid_points)
+        self.lut = lut_for_models(
+            self._unique_models, voc=self._voc_all, **lut_kwargs
         )
         self.lut_report = self.lut.validate() if validate_lut else None
         self._fused = fused
@@ -1469,6 +1622,8 @@ class CompiledFleetSimulator(FleetSimulator):
             lut.grid_points,
             float(lut.grid_points - 1),
             lut.grid_points - 2,
+            bool(lut.closed_form),
+            lut._nodes_flat,
             self._alpha,
             self._t_on,
             self._period,

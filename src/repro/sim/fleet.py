@@ -65,6 +65,9 @@ from repro.pv.batch import (
     batch_current_at,
     batch_loaded_point,
     stack_model_params,
+    stack_string_params,
+    string_current_at,
+    string_loaded_point,
     take_params,
 )
 from repro.sim.precompute import PrecomputedConditions
@@ -129,12 +132,19 @@ def evaluate_sample_hold_boards(
     """
     top = np.asarray(top, dtype=float)
     n = top.shape[0]
-    params = stack_model_params([model] * n)
     rtot = top + bottom
     ratio = bottom / rtot
 
     t0 = _time.perf_counter()
-    v_pv = batch_loaded_point(params, np.full(n, float(voc)), rtot)
+    cells = getattr(model, "cells", None)
+    if cells is not None:
+        # Series-string model: same loaded-point bisection the string
+        # scalar path runs, one row per toleranced board.
+        sp = stack_string_params([cells] * n, [model.bypass_drop] * n)
+        v_pv = string_loaded_point(sp, np.full(n, float(voc)), rtot)
+    else:
+        params = stack_model_params([model] * n)
+        v_pv = batch_loaded_point(params, np.full(n, float(voc)), rtot)
     TRACER.add("fleet:vector-solve", _time.perf_counter() - t0)
 
     h = _OBS.fleet_nodes
@@ -472,10 +482,12 @@ class FleetSimulator:
                     if step_lux <= 0.0 or iph <= 0.0:
                         unique_ideal.append(0.0)
                     else:
-                        qkey = (
-                            round(math.log(iph) * 400.0),
-                            round(model.temperature * 2.0),
-                        )
+                        qkey = getattr(model, "ideal_cache_key", None)
+                        if qkey is None:
+                            qkey = (
+                                round(math.log(iph) * 400.0),
+                                round(model.temperature * 2.0),
+                            )
                         cached = mpp_cache.get(qkey)
                         if cached is None:
                             cached = model.mpp().power
@@ -484,8 +496,36 @@ class FleetSimulator:
                 u_global[i, j] = u
 
         self._u_global = u_global
-        params_all = stack_model_params(unique_models)
-        self._params_all = params_all
+        # Partition the unique conditions into single-diode cells and
+        # series strings; each family gets its own stacked-parameter
+        # block, with index maps from the global condition index.
+        n_unique = len(unique_models)
+        self._unique_models = unique_models
+        is_string = np.array(
+            [getattr(model, "cells", None) is not None for model in unique_models],
+            dtype=bool,
+        )
+        self._is_string = is_string
+        self._any_string = bool(is_string.any())
+        plain_idx = np.nonzero(~is_string)[0]
+        string_idx = np.nonzero(is_string)[0]
+        self._u_to_plain = np.full(n_unique, -1, dtype=np.int64)
+        self._u_to_plain[plain_idx] = np.arange(len(plain_idx))
+        self._u_to_string = np.full(n_unique, -1, dtype=np.int64)
+        self._u_to_string[string_idx] = np.arange(len(string_idx))
+        self._params_all = (
+            stack_model_params([unique_models[int(u)] for u in plain_idx])
+            if len(plain_idx)
+            else None
+        )
+        self._sp_all = (
+            stack_string_params(
+                [unique_models[int(u)].cells for u in string_idx],
+                [unique_models[int(u)].bypass_drop for u in string_idx],
+            )
+            if len(string_idx)
+            else None
+        )
         self._voc_all = np.array([model.voc() for model in unique_models])
         self._lux_all = np.array(unique_lux)
         self._ideal_all = np.array(unique_ideal)
@@ -494,7 +534,16 @@ class FleetSimulator:
         # condition) pair for the whole run — this is the fleet
         # counterpart of the per-sample MNA solve.
         t0 = _time.perf_counter()
-        v_pv_all = batch_loaded_point(params_all, self._voc_all, np.array(unique_rtot))
+        rtot_arr = np.array(unique_rtot)
+        v_pv_all = np.zeros(n_unique)
+        if self._params_all is not None:
+            v_pv_all[plain_idx] = batch_loaded_point(
+                self._params_all, self._voc_all[plain_idx], rtot_arr[plain_idx]
+            )
+        if self._sp_all is not None:
+            v_pv_all[string_idx] = string_loaded_point(
+                self._sp_all, self._voc_all[string_idx], rtot_arr[string_idx]
+            )
         TRACER.add("fleet:vector-solve", _time.perf_counter() - t0)
         node_idx = np.array(unique_node, dtype=np.int64)
         ratio = np.empty(n)
@@ -661,7 +710,22 @@ class FleetSimulator:
         Lambert-W solve; the compiled tier overrides it with a validated
         interpolation-table lookup (:mod:`repro.sim.compiled`).
         """
-        current = batch_current_at(take_params(self._params_all, u_sel), v_sel)
+        if not self._any_string:
+            current = batch_current_at(take_params(self._params_all, u_sel), v_sel)
+            return np.maximum(0.0, v_sel * current) * duty_sel
+        current = np.empty(v_sel.shape[0])
+        s_mask = self._is_string[u_sel]
+        p_pos = np.nonzero(~s_mask)[0]
+        if len(p_pos):
+            current[p_pos] = batch_current_at(
+                take_params(self._params_all, self._u_to_plain[u_sel[p_pos]]),
+                v_sel[p_pos],
+            )
+        s_pos = np.nonzero(s_mask)[0]
+        if len(s_pos):
+            current[s_pos] = string_current_at(
+                self._sp_all, self._u_to_string[u_sel[s_pos]], v_sel[s_pos]
+            )
         return np.maximum(0.0, v_sel * current) * duty_sel
 
     # --- stepping ----------------------------------------------------------

@@ -114,6 +114,22 @@ def _merge_payloads(payloads: "List[_ObsPayload]") -> list:
     return results
 
 
+def _failure_detail(exc: BaseException) -> str:
+    """``repr`` plus the exception's traceback, for quarantine records.
+
+    Pool workers ship their traceback back as a ``RemoteTraceback``
+    chained under ``__cause__``; ``format_exception`` renders the whole
+    chain, so a quarantined spec's record names the offending frame
+    instead of just the final message.
+    """
+    import traceback
+
+    detail = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    ).strip()
+    return f"{exc!r}\n{detail}" if detail else repr(exc)
+
+
 def default_worker_count() -> int:
     """Worker count for this machine (``os.cpu_count()``, at least 1)."""
     return max(1, os.cpu_count() or 1)
@@ -173,7 +189,9 @@ class QuarantineRecord:
     Attributes:
         index: position of the spec in the input sequence.
         attempts: how many times the spec was tried (1 + retries).
-        error: ``repr`` of the final failure.
+        error: ``repr`` of the final failure plus its full traceback
+            (including the worker-side ``RemoteTraceback`` chain on the
+            pool path), so a quarantined spec is debuggable post-hoc.
     """
 
     index: int
@@ -345,7 +363,8 @@ def _run_round(
                     "crash",
                     WorkerCrashError(
                         f"worker process died while running spec {index} "
-                        f"({type(crash_exc).__name__}: {crash_exc})"
+                        f"({type(crash_exc).__name__}: {crash_exc})",
+                        spec_index=index,
                     ),
                 )
             else:
@@ -486,7 +505,7 @@ def _run_hardened(
                         QuarantineRecord(
                             index=index,
                             attempts=attempts[index],
-                            error=repr(value),
+                            error=_failure_detail(value),
                         )
                     )
                     h = _HOOKS.parallel_quarantines
@@ -529,7 +548,9 @@ def _run_serial_hardened(fn, specs, retries, backoff_base, backoff_cap, quaranti
                     continue
                 if quarantine:
                     quarantined.append(
-                        QuarantineRecord(index=index, attempts=attempt, error=repr(exc))
+                        QuarantineRecord(
+                            index=index, attempts=attempt, error=_failure_detail(exc)
+                        )
                     )
                     h = _HOOKS.parallel_quarantines
                     if h is not None:

@@ -9,10 +9,12 @@ so the nine-controller comparison recomputes the identical trace nine
 times.
 
 :func:`precompute_conditions` walks the run once, builds the per-step
-model list (deduplicated on exact ``(lux, temperature)``), and solves
-every unique condition's Voc/Isc/MPP in one vectorized pass
-(:func:`repro.pv.batch.solve_models`).  The resulting
-:class:`PrecomputedConditions` plugs into the simulator's
+model list (deduplicated on exact ``(lux, temperature)`` — plus the
+shadow-map factors tuple when a :mod:`repro.env.shading` map drives a
+string), and solves every unique condition's Voc/Isc/MPP in one
+vectorized pass (:func:`repro.pv.batch.solve_models` for cells,
+:func:`repro.pv.string.solve_string_models` for strings).  The
+resulting :class:`PrecomputedConditions` plugs into the simulator's
 ``precomputed=`` argument; controllers then see exactly the models they
 would have seen live, with the solves already memoised.
 """
@@ -73,6 +75,7 @@ def precompute_conditions(
     temperature: float = T_STC,
     start_time: float = 0.0,
     solve: bool = True,
+    shading=None,
 ) -> PrecomputedConditions:
     """Sample a run's conditions once and batch-solve the unique ones.
 
@@ -93,6 +96,10 @@ def precompute_conditions(
         start_time: trace start, seconds.
         solve: batch-solve Voc/Isc/MPP of the unique conditions and
             memoise them on the shared model instances.
+        shading: optional :class:`~repro.env.shading.ShadowMap`; its
+            per-cell factors join the dedup key and are forwarded to the
+            cell's ``model_at`` (requires a string-style cell such as
+            :class:`~repro.pv.string.CellString`).
 
     Returns:
         A :class:`PrecomputedConditions` covering ``duration``.
@@ -117,17 +124,40 @@ def precompute_conditions(
         t += dt
 
     models: List[SingleDiodeModel] = []
-    index: Dict[Tuple[float, float], SingleDiodeModel] = {}
+    index: Dict[tuple, SingleDiodeModel] = {}
     for i in range(steps):
-        key = (lux[i], temps[i])
+        if shading is not None:
+            factors = shading.factors_at(float(times[i]))
+            key = (lux[i], temps[i], factors)
+        else:
+            factors = None
+            key = (lux[i], temps[i])
         model = index.get(key)
         if model is None:
-            model = cell.model_at(float(lux[i]), source=source, temperature=float(temps[i]))
+            if factors is not None:
+                model = cell.model_at(
+                    float(lux[i]),
+                    source=source,
+                    temperature=float(temps[i]),
+                    factors=factors,
+                )
+            else:
+                model = cell.model_at(
+                    float(lux[i]), source=source, temperature=float(temps[i])
+                )
             index[key] = model
         models.append(model)
 
     if solve and index:
-        solve_models(list(index.values()), memoize=True)
+        from repro.pv.string import StringModel, solve_string_models
+
+        unique = list(index.values())
+        plain = [m for m in unique if isinstance(m, SingleDiodeModel)]
+        strings = [m for m in unique if isinstance(m, StringModel)]
+        if plain:
+            solve_models(plain, memoize=True)
+        if strings:
+            solve_string_models(strings)
 
     # One pre-timed span per scenario precompute; no-op while disabled.
     TRACER.add("precompute", time.perf_counter() - t_start)

@@ -230,6 +230,11 @@ class QuasiStaticSimulator:
             :class:`~repro.pv.cache.CachedPVCell` (exact keying) so
             repeated conditions are solved once.  Ignored when the cell
             is already cached.
+        shading: optional :class:`~repro.env.shading.ShadowMap`; its
+            per-cell factors are forwarded to the cell's ``model_at``
+            each step (requires a string-style cell such as
+            :class:`~repro.pv.string.CellString`).  Precomputed traces
+            bake the shading in, so this only drives the live path.
     """
 
     def __init__(
@@ -247,6 +252,7 @@ class QuasiStaticSimulator:
         record: bool = True,
         precomputed: Optional[PrecomputedConditions] = None,
         cache: bool = False,
+        shading=None,
     ):
         from repro.validation import require_finite, require_positive
 
@@ -271,6 +277,7 @@ class QuasiStaticSimulator:
         self.thermal = thermal
         self.record = record
         self.precomputed = precomputed
+        self.shading = shading
         self.traces = TraceSet()
         self.summary = HarvestSummary()
         self.time = 0.0
@@ -317,7 +324,7 @@ class QuasiStaticSimulator:
             "time": self.time,
             "step_index": self._step_index,
             "summary": self.summary.to_dict(),
-            "mpp_cache": [[k[0], k[1], v] for k, v in self._mpp_cache.items()],
+            "mpp_cache": [[*k, v] for k, v in self._mpp_cache.items()],
             "controller": child_state(self.controller),
             "storage": child_state(self.storage),
             "converter": child_state(self.converter),
@@ -344,7 +351,17 @@ class QuasiStaticSimulator:
         self.time = state["time"]
         self._step_index = state["step_index"]
         self.summary = HarvestSummary.from_dict(state["summary"])
-        self._mpp_cache = {(k0, k1): value for k0, k1, value in state["mpp_cache"]}
+        # Keys are variable-length tuples (2 for cells, 3 with nested
+        # per-cell tuples for strings); JSON stores them as lists, so
+        # rebuild the hashable form recursively.
+        def _tuplify(value):
+            if isinstance(value, list):
+                return tuple(_tuplify(item) for item in value)
+            return value
+
+        self._mpp_cache = {
+            _tuplify(entry[:-1]): entry[-1] for entry in state["mpp_cache"]
+        }
         load_child_state(self.controller, state.get("controller"), "controller")
         load_child_state(self.storage, state.get("storage"), "storage")
         load_child_state(self.converter, state.get("converter"), "converter")
@@ -352,10 +369,20 @@ class QuasiStaticSimulator:
 
     def _ideal_power(self, model) -> float:
         """True-MPP power for the step's curve, cached on quantised
-        (photocurrent, temperature)."""
+        (photocurrent, temperature) — or the model's own richer key.
+
+        String models publish ``ideal_cache_key`` covering every cell:
+        two shading patterns can share a headline photocurrent while
+        having very different MPPs, so the single-cell key would collide.
+        """
         if model.photocurrent <= 0.0:
             return 0.0
-        key = (round(math.log(model.photocurrent) * 400.0), round(model.temperature * 2.0))
+        key = getattr(model, "ideal_cache_key", None)
+        if key is None:
+            key = (
+                round(math.log(model.photocurrent) * 400.0),
+                round(model.temperature * 2.0),
+            )
         cached = self._mpp_cache.get(key)
         if cached is None:
             h = obs.HOOKS.cache_misses
@@ -403,7 +430,17 @@ class QuasiStaticSimulator:
                 temperature = self.thermal.step(lux, dt, self.source.efficacy_lm_per_w)
             else:
                 temperature = self.temperature
-            model = self.cell.model_at(lux, source=self.source, temperature=temperature)
+            if self.shading is not None:
+                model = self.cell.model_at(
+                    lux,
+                    source=self.source,
+                    temperature=temperature,
+                    factors=self.shading.factors_at(t),
+                )
+            else:
+                model = self.cell.model_at(
+                    lux, source=self.source, temperature=temperature
+                )
         storage_v = self._storage_voltage()
         supply_v = storage_v if self.storage is not None else self.supply_voltage
 

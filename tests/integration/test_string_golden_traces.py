@@ -1,0 +1,149 @@
+"""Golden traces for the shaded-string scenarios, across all three tiers.
+
+Mirrors ``test_golden_traces.py`` for the heterogeneous-string
+workload: a mismatched 4s AM-1815 string under the indoor edge-sweep
+and the outdoor blob-occlusion shadow maps, frozen bit-for-bit from the
+scalar engine.  Engine contracts are stricter than the plain-cell
+goldens in one place: the scalar string model is literally a one-row
+fleet stack, so *fleet is held bitwise*, not at an ulp tolerance.
+The compiled tier is held to its mixed-LUT validated budget.
+
+Re-baseline (after a reviewed numerical change)::
+
+    pytest tests/integration/test_string_golden_traces.py --update-golden
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.env.profiles import HOURS
+from repro.experiments.comparison import run_comparison
+from repro.pv.cells import am_1815
+from repro.pv.string import CellString
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+DURATION = 24.0 * HOURS
+DT = 300.0
+MISMATCH = (1.0, 0.9, 1.05, 0.85)
+TECHNIQUES = (
+    "ideal-oracle",
+    "proposed-S&H-FOCV",
+    "hill-climbing",
+    "fixed-voltage",
+    "no-MPPT-direct",
+    "photodiode-ref",
+)
+#: label -> (scenario, shading spec)
+STRING_SCENARIOS = {
+    "indoor-edge-sweep": ("office-desk", "edge-sweep"),
+    "outdoor-blob": ("outdoor", "blob:seed=3"),
+}
+SUMMARY_FIELDS = (
+    "duration",
+    "energy_ideal",
+    "energy_at_cell",
+    "energy_delivered",
+    "energy_overhead",
+    "energy_load",
+    "final_storage_voltage",
+)
+ENERGY_FIELDS = ("energy_at_cell", "energy_delivered", "energy_overhead", "energy_load")
+
+COMPILED_ENERGY_TOL = {"default": 1e-3, "hill-climbing": 2e-2}
+COMPILED_VOLTAGE_TOL = {"default": 1e-3, "hill-climbing": 1e-2}
+
+
+def golden_path(label: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"string_{label}.json"
+
+
+def _string():
+    return CellString(am_1815(), 4, mismatch=MISMATCH)
+
+
+def run_label(label: str, engine: str):
+    scenario, shading = STRING_SCENARIOS[label]
+    results = run_comparison(
+        cell=_string(),
+        duration=DURATION,
+        dt=DT,
+        techniques=list(TECHNIQUES),
+        scenarios=[scenario],
+        engine=engine,
+        shading=shading,
+    )
+    return {
+        r.technique: {f: getattr(r.summary, f) for f in SUMMARY_FIELDS}
+        for r in results
+    }
+
+
+def assert_matches_golden(engine, label, technique, measured, golden_fields):
+    if engine in ("scalar", "fleet"):
+        # Shared kernels: both tiers reproduce the fixtures bit-for-bit.
+        for f, value in golden_fields.items():
+            assert measured[f] == value, (
+                f"{label}/{technique}/{f} ({engine}): golden {value!r} != "
+                f"measured {measured[f]!r} (bitwise regression — if "
+                "intentional, re-baseline with --update-golden)"
+            )
+        return
+    etol = COMPILED_ENERGY_TOL.get(technique, COMPILED_ENERGY_TOL["default"])
+    vtol = COMPILED_VOLTAGE_TOL.get(technique, COMPILED_VOLTAGE_TOL["default"])
+    scale = max(abs(golden_fields["energy_ideal"]), 1e-9)
+    assert measured["duration"] == golden_fields["duration"]
+    assert measured["energy_ideal"] == pytest.approx(
+        golden_fields["energy_ideal"], rel=1e-12, abs=1e-18
+    ), f"{label}/{technique}: energy_ideal is replayed exactly, not interpolated"
+    for f in ENERGY_FIELDS:
+        err = abs(measured[f] - golden_fields[f]) / scale
+        assert err <= etol, (
+            f"{label}/{technique}/{f}: compiled error {err:.3e} exceeds "
+            f"the declared budget {etol:.1e} (relative to ideal harvest)"
+        )
+    dv = abs(measured["final_storage_voltage"] - golden_fields["final_storage_voltage"])
+    assert dv <= vtol, (
+        f"{label}/{technique}: compiled final storage voltage off by "
+        f"{dv:.3e} V (declared budget {vtol:.1e} V)"
+    )
+
+
+def write_golden(label: str, techniques) -> None:
+    from repro.ckpt.atomic import atomic_write_json
+
+    scenario, shading = STRING_SCENARIOS[label]
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    atomic_write_json(
+        golden_path(label),
+        {
+            "experiment": "string-comparison",
+            "scenario": scenario,
+            "shading": shading,
+            "cell": f"4s AM-1815 mismatch={list(MISMATCH)}",
+            "duration": DURATION,
+            "dt": DT,
+            "techniques": techniques,
+        },
+    )
+
+
+@pytest.mark.parametrize("label", sorted(STRING_SCENARIOS))
+@pytest.mark.parametrize("engine", ("scalar", "fleet", "compiled"))
+def test_string_scenario_matches_golden(engine, label, update_golden):
+    if update_golden:
+        if engine != "scalar":
+            pytest.skip("golden fixtures are written from the scalar engine")
+        write_golden(label, run_label(label, "scalar"))
+        pytest.skip("golden fixtures rewritten")
+    path = golden_path(label)
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate with --update-golden"
+    )
+    golden = json.loads(path.read_text())
+    assert golden["duration"] == DURATION and golden["dt"] == DT
+    measured = run_label(label, engine)
+    assert set(golden["techniques"]) == set(measured)
+    for technique, fields in golden["techniques"].items():
+        assert_matches_golden(engine, label, technique, measured[technique], fields)

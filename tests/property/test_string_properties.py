@@ -1,0 +1,145 @@
+"""Property tests for the series-string model and shadow maps.
+
+Four invariants from the string physics, held for any drawn input:
+
+* **Mismatch only loses power** — a string's global MPP can never beat
+  the sum of its cells' individual MPPs (series wiring forces one chain
+  current; bypass diodes only *reduce* the loss, they cannot create
+  gain).
+* **Shading depth is monotone** — deepening a fixed shadow pattern
+  never raises the string's voltage at a given current, nor its global
+  MPP power; and the bypass knee, once carved into the curve, stays
+  there as the shadow deepens (up to near-total darkness of the shaded
+  cells, where their knee vanishes with their power).
+* **Uniform light degenerates exactly** — N identical cells under
+  identical light are electrically one cell at N× the voltage: Voc and
+  the V(I) curve match ``N * single_cell`` bitwise, the MPP power to a
+  few ulp (the string MPP comes from a bisection refine, the single
+  cell from the closed-form solver).
+* **Shadow maps are pure functions of (seed, t)** — two instances with
+  the same seed produce bitwise-identical factor tuples forever, which
+  is what makes shaded runs reproducible and checkpointable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.shading import BlobOcclusion, EdgeSweep, VenetianBlind
+from repro.pv.cells import am_1815
+from repro.pv.string import CellString
+
+_CELL = am_1815()
+
+_lux = st.floats(min_value=50.0, max_value=50000.0)
+_factors = st.lists(
+    st.floats(min_value=0.02, max_value=1.0), min_size=2, max_size=5
+)
+
+
+class TestPowerBudget:
+    @settings(max_examples=30, deadline=None)
+    @given(_lux, _factors)
+    def test_string_mpp_never_beats_sum_of_cell_mpps(self, lux, factors):
+        model = CellString(_CELL, len(factors)).model_at(lux, factors=factors)
+        ceiling = sum(c.mpp().power for c in model.cells)
+        assert model.mpp().power <= ceiling * (1.0 + 1e-12) + 1e-15
+
+    @settings(max_examples=30, deadline=None)
+    @given(_lux, _factors)
+    def test_every_knee_is_below_the_global_mpp(self, lux, factors):
+        mpp = CellString(_CELL, len(factors)).model_at(lux, factors=factors).mpp()
+        assert mpp.n_knees >= 1
+        for _, _, power in mpp.knees:
+            assert power <= mpp.power * (1.0 + 1e-12) + 1e-15
+
+
+class TestShadingDepthMonotone:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        _lux,
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_deeper_shade_never_raises_voltage_or_power(self, lux, n, k):
+        """V(I) and the global MPP are non-increasing in shading depth."""
+        k = min(k, n - 1)
+        string = CellString(_CELL, n)
+        depths = (0.0, 0.25, 0.5, 0.75, 0.9)
+        models = [
+            string.model_at(lux, factors=[1.0 - d] * k + [1.0] * (n - k))
+            for d in depths
+        ]
+        currents = np.linspace(0.05, 0.95, 5) * models[0].isc()
+        # Bisection solves carry a fixed-iteration bracket width; allow it.
+        v_tol = 1e-6 * models[0].voc()
+        for shallow, deep in zip(models, models[1:]):
+            assert deep.mpp().power <= shallow.mpp().power * (1.0 + 1e-12) + 1e-15
+            for i in currents:
+                assert float(deep.voltage_at(i)) <= float(shallow.voltage_at(i)) + v_tol
+
+    def test_bypass_knee_appears_once_and_persists(self):
+        """Knee count transitions 1 -> 2 exactly once as depth grows.
+
+        (Depth is capped at 0.9: at near-total darkness the shaded
+        cells' local maximum vanishes along with their power, which is
+        correct physics, not a bypass deactivation.)
+        """
+        string = CellString(_CELL, 4)
+        counts = []
+        for depth in np.linspace(0.0, 0.9, 19):
+            factors = [1.0 - depth, 1.0 - depth, 1.0, 1.0]
+            counts.append(string.model_at(1000.0, factors=factors).mpp().n_knees)
+        assert counts[0] == 1
+        assert counts[-1] == 2
+        transitions = sum(1 for a, b in zip(counts, counts[1:]) if a != b)
+        assert transitions == 1, f"knee count not monotone: {counts}"
+
+
+class TestUniformDegeneration:
+    @settings(max_examples=30, deadline=None)
+    @given(_lux, st.integers(min_value=1, max_value=5))
+    def test_uniform_string_is_n_times_single_cell(self, lux, n):
+        single = _CELL.model_at(lux)
+        string = CellString(_CELL, n).model_at(lux)
+        assert string.voc() == n * single.voc()
+        currents = np.linspace(0.05, 0.95, 7) * single.isc()
+        for i in currents:
+            assert float(string.voltage_at(i)) == n * float(single.voltage_at(i))
+        assert string.mpp().power == pytest.approx(n * single.mpp().power, rel=5e-15)
+        assert string.mpp().n_knees == 1
+
+
+class TestShadowMapReproducibility:
+    _times = [0.0, 17.0, 299.9, 300.0, 3600.0, 86399.0, 7 * 86400.0 - 1.0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=2, max_value=8),
+    )
+    def test_blob_occlusion_bitwise_under_seed(self, seed, n):
+        a = BlobOcclusion(n, seed=seed)
+        b = BlobOcclusion(n, seed=seed)
+        for t in self._times:
+            assert a.factors_at(t) == b.factors_at(t)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.floats(0.05, 0.95))
+    def test_deterministic_maps_bitwise_across_instances(self, n, depth):
+        for make in (
+            lambda: EdgeSweep(n, depth=depth),
+            lambda: VenetianBlind(n, depth=depth),
+        ):
+            a, b = make(), make()
+            for t in self._times:
+                assert a.factors_at(t) == b.factors_at(t)
+
+    def test_different_seeds_diverge(self):
+        a = BlobOcclusion(6, seed=1)
+        b = BlobOcclusion(6, seed=2)
+        assert any(
+            a.factors_at(t) != b.factors_at(t)
+            for t in np.linspace(0.0, 86400.0, 97)
+        )

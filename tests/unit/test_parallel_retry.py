@@ -208,3 +208,56 @@ class TestObsIntegration:
         snap = obs.REGISTRY.snapshot()
         assert snap[("parallel.retries", ())]["value"] == 2.0
         assert snap[("parallel.quarantined_specs", ())]["value"] == 2.0
+
+
+class TestQuarantineAttribution:
+    """Regression: retries=0 quarantine must keep the spec's identity.
+
+    The quarantine record used to hold only ``repr(exc)`` — no traceback
+    — and a crash's :class:`WorkerCrashError` had no ``spec_index``, so
+    a report with several failures couldn't be debugged post-hoc.
+    """
+
+    def test_retries_zero_serial_keeps_index_and_traceback(self):
+        report = parallel_map(
+            _always_fails, [7, 8, 9], mode="serial", quarantine=True
+        )
+        assert report.results == [None, None, None]
+        assert [q.index for q in report.quarantined] == [0, 1, 2]
+        assert all(q.attempts == 1 for q in report.quarantined)
+        # The error string carries the worker-side frame, not just the message.
+        for q in report.quarantined:
+            assert "Traceback" in q.error
+            assert "_always_fails" in q.error
+            assert "is doomed" in q.error
+
+    def test_retries_zero_pool_keeps_index_and_traceback(self):
+        report = parallel_map(
+            _always_fails,
+            [7, 8],
+            mode="process",
+            max_workers=2,
+            quarantine=True,
+        )
+        assert report.results == [None, None]
+        assert [q.index for q in report.quarantined] == [0, 1]
+        for q in report.quarantined:
+            assert "Traceback" in q.error
+            assert "is doomed" in q.error
+
+    def test_crash_error_names_its_spec(self):
+        specs = [(x, 2) for x in range(1, 5)]  # spec value 2 (index 1) dies
+        with pytest.raises(WorkerCrashError) as excinfo:
+            parallel_map(
+                _poison, specs, max_workers=2, retries=1, backoff_base=0.001
+            )
+        assert excinfo.value.spec_index == 1
+
+    def test_crash_quarantine_record_names_its_spec(self):
+        specs = [(x, 2) for x in range(1, 5)]
+        report = parallel_map(
+            _poison, specs, max_workers=2, quarantine=True, backoff_base=0.001
+        )
+        assert not report.ok
+        assert [q.index for q in report.quarantined] == [1]
+        assert "spec 1" in report.quarantined[0].error
