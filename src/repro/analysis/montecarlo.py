@@ -23,6 +23,7 @@ from repro.analog.opamp import OpAmpSpec, UnityGainBuffer
 from repro.analog.switch import AnalogSwitch, AnalogSwitchSpec
 from repro.core.sample_hold import SampleHoldCircuit
 from repro.errors import ModelParameterError
+from repro.obs import journal
 from repro.pv.cells import PVCell, am_1815
 from repro.sim.engines import resolve_engine
 from repro.sim.parallel import parallel_map, scatter
@@ -310,10 +311,22 @@ def run_sample_hold_montecarlo(
     ]
 
     if not checkpointing:
-        if use_fleet:
-            chunks = [_evaluate_boards_fleet(batch) for batch in batches]
-        else:
-            chunks = parallel_map(_evaluate_boards, batches, max_workers=max(1, parts))
+        with journal.run_scope(
+            "montecarlo",
+            spec={"experiment": "sample-hold-montecarlo", "boards": boards,
+                  "lux": lux, "seed": seed, "engine": engine},
+            total_steps=boards,
+        ) as scope:
+            if use_fleet:
+                chunks = []
+                for batch in batches:
+                    chunks.append(_evaluate_boards_fleet(batch))
+                    scope.advance(len(batch.draws))
+            else:
+                chunks = parallel_map(
+                    _evaluate_boards, batches, max_workers=max(1, parts)
+                )
+                scope.advance(boards)
     else:
         from dataclasses import asdict
 
@@ -350,28 +363,35 @@ def run_sample_hold_montecarlo(
             }
         pending = [i for i in range(len(batches)) if i not in done]
         wave = max(1, parts)
-        for start in range(0, len(pending), wave):
-            indices = pending[start : start + wave]
-            if use_fleet:
-                fresh = [_evaluate_boards_fleet(batches[i]) for i in indices]
-            else:
-                fresh = parallel_map(
-                    _evaluate_boards, [batches[i] for i in indices], max_workers=wave
-                )
-            done.update(zip(indices, fresh))
-            if checkpoint_path is not None:
-                save_checkpoint(
-                    checkpoint_path,
-                    kind="montecarlo",
-                    state={
-                        "chunks": {
-                            str(index): [float(v) for v in values]
-                            for index, values in done.items()
-                        }
-                    },
-                    spec=run_spec,
-                    meta={"chunks_done": len(done), "chunks_total": len(batches)},
-                )
+        with journal.run_scope(
+            "montecarlo",
+            spec=run_spec,
+            total_steps=boards,
+            resumed_steps=sum(len(done[i]) for i in done),
+        ) as scope:
+            for start in range(0, len(pending), wave):
+                indices = pending[start : start + wave]
+                if use_fleet:
+                    fresh = [_evaluate_boards_fleet(batches[i]) for i in indices]
+                else:
+                    fresh = parallel_map(
+                        _evaluate_boards, [batches[i] for i in indices], max_workers=wave
+                    )
+                done.update(zip(indices, fresh))
+                if checkpoint_path is not None:
+                    save_checkpoint(
+                        checkpoint_path,
+                        kind="montecarlo",
+                        state={
+                            "chunks": {
+                                str(index): [float(v) for v in values]
+                                for index, values in done.items()
+                            }
+                        },
+                        spec=run_spec,
+                        meta={"chunks_done": len(done), "chunks_total": len(batches)},
+                    )
+                scope.advance(sum(len(done[i]) for i in indices))
         chunks = [done[i] for i in range(len(batches))]
 
     ratios = np.concatenate(chunks) if chunks else np.empty(0)

@@ -23,6 +23,7 @@ from repro.ckpt.atomic import (
     atomic_write_json,
     atomic_write_text,
     file_lock,
+    locked_append_text,
     locked_update_json,
 )
 from repro.ckpt.checkpoint import (
@@ -46,6 +47,7 @@ __all__ = [
     "atomic_write_text",
     "atomic_write_json",
     "file_lock",
+    "locked_append_text",
     "locked_update_json",
     "CHECKPOINT_SCHEMA",
     "save_checkpoint",

@@ -157,6 +157,45 @@ def file_lock(
         os.close(fd)
 
 
+def locked_append_text(
+    path: Union[str, Path],
+    text: str,
+    timeout: float = 30.0,
+    fsync: bool = False,
+) -> Path:
+    """Append ``text`` to ``path`` under the advisory lock.
+
+    The append itself goes through a single ``O_APPEND`` write while
+    holding the sidecar lock, so concurrent writers (e.g. journal
+    emissions from ``parallel_map`` workers) interleave at line
+    granularity instead of tearing mid-record.  A crash mid-write can
+    still truncate the *final* line — append is not rename — which is
+    why :func:`repro.obs.journal.read_journal` tolerates a partial
+    trailing record.
+
+    Args:
+        path: destination file (created, with parents, if absent).
+        text: the bytes to append, UTF-8 encoded.
+        timeout: lock acquisition bound, seconds.
+        fsync: flush to disk before releasing the lock; off by default
+            because journals are advisory telemetry, not checkpoints.
+
+    Returns:
+        The destination as a :class:`~pathlib.Path`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with file_lock(path, timeout=timeout):
+        fd = os.open(str(path), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, text.encode("utf-8"))
+            if fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+    return path
+
+
 def locked_update_json(
     path: Union[str, Path],
     update: Callable[[Any], Any],
@@ -203,5 +242,6 @@ __all__ = [
     "atomic_write_text",
     "atomic_write_json",
     "file_lock",
+    "locked_append_text",
     "locked_update_json",
 ]

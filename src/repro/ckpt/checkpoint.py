@@ -27,6 +27,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.ckpt.atomic import atomic_write_json
 from repro.errors import CheckpointError
+from repro.obs import journal as _journal
 from repro.obs.metrics import HOOKS as _OBS
 
 CHECKPOINT_SCHEMA = 1
@@ -67,6 +68,9 @@ def save_checkpoint(
     h = _OBS.ckpt_saves
     if h is not None:
         h.inc()
+    j = _journal.JOURNAL
+    if j is not None:
+        j.emit(_journal.CHECKPOINT_SAVE, path=str(written), kind=kind)
     return written
 
 
@@ -109,6 +113,13 @@ def load_checkpoint(path: Union[str, Path], kind: Optional[str] = None) -> Dict[
     h = _OBS.ckpt_restores
     if h is not None:
         h.inc()
+    j = _journal.JOURNAL
+    if j is not None:
+        j.emit(
+            _journal.CHECKPOINT_RESTORE,
+            path=str(path),
+            kind=envelope.get("kind"),
+        )
     return envelope
 
 

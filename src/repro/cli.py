@@ -19,11 +19,16 @@ Usage::
     python -m repro endurance --resume ck.json              # pick it back up
     python -m repro profile comparison [--hours 1] [--out DIR]
                                               # E17: any artefact, instrumented
+    python -m repro endurance --progress --journal run.jsonl
+                                              # live ETA + event journal
+    python -m repro bench report [--threshold 0.5] [--fail-on-regression]
+                                              # bench-ledger trend analysis
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable, Dict
 
@@ -230,6 +235,75 @@ def _cmd_profile(args) -> str:
     return f"{text}\n\n{export.render_summary()}\n{saved}"
 
 
+def _cmd_bench(args) -> str:
+    """Analyze the bench ledger: same-host throughput trends + regressions.
+
+    ``--fail-on-regression`` makes the process exit non-zero when any
+    experiment's newest same-host entry fell below ``threshold`` x the
+    median of its history — the CI tripwire.
+    """
+    import json as json_mod
+
+    from repro.obs import benchreport
+
+    kwargs = {}
+    if args.threshold is not None:
+        kwargs["threshold"] = args.threshold
+    report = benchreport.analyze_ledger(path=args.path, **kwargs)
+
+    saved = []
+    if args.out is not None:
+        paths = benchreport.write_report(report, args.out)
+        saved = [f"[saved {kind}: {path}]" for kind, path in sorted(paths.items())]
+    if args.fail_on_regression and report.regressions:
+        args.exit_code = 3
+
+    if args.format == "json":
+        text = json_mod.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        text = benchreport.render_markdown(report)
+    return "\n".join([text, *saved]) if saved else text
+
+
+@contextlib.contextmanager
+def _telemetry(args):
+    """Arm the journal/ticker for one CLI invocation when asked.
+
+    ``--journal PATH`` installs a process-wide event journal;
+    ``--progress`` attaches a stderr ticker to it (creating an
+    in-process-only journal when no path was given).  A journal already
+    enabled through ``REPRO_JOURNAL`` is reused — and kept alive — so
+    spawn-mode workers and smoke subprocesses behave identically.
+    """
+    journal_path = getattr(args, "journal", None)
+    progress = bool(getattr(args, "progress", False))
+    if journal_path is None and not progress:
+        yield
+        return
+
+    from repro.obs import journal as journal_mod
+    from repro.obs.progress import ProgressTicker
+
+    j = journal_mod.JOURNAL
+    created = False
+    if j is None or (journal_path is not None and str(j.path) != str(journal_path)):
+        j = journal_mod.enable_journal(journal_path)
+        created = True
+    ticker = None
+    unsubscribe = None
+    if progress:
+        ticker = ProgressTicker()
+        unsubscribe = j.subscribe(ticker.on_event)
+    try:
+        yield
+    finally:
+        if ticker is not None:
+            ticker.close()
+            unsubscribe()
+        if created:
+            journal_mod.disable_journal()
+
+
 COMMANDS: Dict[str, Callable] = {
     "table1": _cmd_table1,
     "fig1": _cmd_fig1,
@@ -261,6 +335,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available artefacts")
     for name in COMMANDS:
         p = sub.add_parser(name, help=f"regenerate '{name}'")
+        p.add_argument("--progress", action="store_true",
+                       help="live progress/ETA line on stderr (journal-driven)")
+        p.add_argument("--journal", default=None, metavar="PATH",
+                       help="append structured run events to a JSONL journal")
         if name in ("fig4", "coldstart"):
             p.add_argument("--lux", type=float, default=1000.0 if name == "fig4" else 200.0)
         if name == "comparison":
@@ -317,6 +395,25 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--boards", type=int, default=None,
                          help="forwarded to montecarlo")
     profile.set_defaults(_run=_cmd_profile)
+    bench = sub.add_parser(
+        "bench",
+        help="analyze the BENCH_perf.json ledger: same-host throughput "
+        "trends and regression flags",
+    )
+    bench.add_argument("action", choices=("report",))
+    bench.add_argument("--path", default=None, metavar="LEDGER",
+                       help="ledger file (default: the checkout's "
+                       "BENCH_perf.json, or $REPRO_BENCH_PATH)")
+    bench.add_argument("--threshold", type=float, default=None,
+                       help="flag when latest < THRESHOLD x same-host "
+                       "median (default 0.5)")
+    bench.add_argument("--format", choices=("markdown", "json"),
+                       default="markdown")
+    bench.add_argument("--out", default=None, metavar="DIR",
+                       help="also write markdown + JSON reports to DIR")
+    bench.add_argument("--fail-on-regression", action="store_true",
+                       help="exit non-zero when any regression is flagged")
+    bench.set_defaults(_run=_cmd_bench)
     return parser
 
 
@@ -331,14 +428,16 @@ def main(argv=None) -> int:
                 print(f"  {name}")
             return 0
         handler = getattr(args, "_run", None) or COMMANDS[args.command]
-        print(handler(args))
+        with _telemetry(args):
+            text = handler(args)
+        print(text)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe — not an error.
         try:
             sys.stdout.close()
         except Exception:
             pass
-    return 0
+    return int(getattr(args, "exit_code", 0))
 
 
 if __name__ == "__main__":

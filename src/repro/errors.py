@@ -104,6 +104,15 @@ class LockTimeoutError(ReproError, RuntimeError):
     """An advisory file lock could not be acquired within its timeout."""
 
 
+class JournalError(ReproError, RuntimeError):
+    """A run journal could not be written or replayed (strict mode only:
+    the default reader tolerates a crash-truncated final line)."""
+
+    def __init__(self, message: str, line_number: int = -1):
+        super().__init__(message)
+        self.line_number = line_number
+
+
 class ParallelExecutionError(ReproError, RuntimeError):
     """The parallel experiment runner could not complete a batch of specs."""
 

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.core.config import PlatformConfig
+from repro.obs import journal
 from repro.pv.cells import PVCell, am_1815
 
 
@@ -72,34 +73,45 @@ def run_aging(
     )
     fixed_setpoint = cell.mpp(lux).voltage  # factory tune, never revisited
 
+    run_spec = {
+        "experiment": "aging",
+        "cell": getattr(cell, "name", type(cell).__name__),
+        "years": [float(a) for a in years],
+        "lux": lux,
+        "iph_loss_per_year": iph_loss_per_year,
+        "rs_growth_per_year": rs_growth_per_year,
+    }
     points: List[AgingPoint] = []
-    for age in years:
-        aged = cell.degraded(
-            age, iph_loss_per_year=iph_loss_per_year, rs_growth_per_year=rs_growth_per_year
-        )
-        model = aged.model_at(lux)
-        mpp = model.mpp()
-        if mpp.power <= 0.0:
-            continue
-
-        sample_hold = copy.deepcopy(config.sample_hold)
-        sample_hold.sample(model, config.astable.t_on)
-        v_focv = min(
-            config.operating_point_from_held(sample_hold.held_sample), mpp.voc * 0.9999
-        )
-        p_focv = float(model.power_at(v_focv))
-
-        p_fixed = float(model.power_at(fixed_setpoint)) if fixed_setpoint < mpp.voc else 0.0
-
-        points.append(
-            AgingPoint(
-                years=age,
-                pmpp=mpp.power,
-                vmpp=mpp.voltage,
-                focv_efficiency=max(0.0, p_focv) / mpp.power,
-                fixed_efficiency=max(0.0, p_fixed) / mpp.power,
+    with journal.run_scope("aging", spec=run_spec, total_steps=len(years)) as scope:
+        for age in years:
+            aged = cell.degraded(
+                age, iph_loss_per_year=iph_loss_per_year, rs_growth_per_year=rs_growth_per_year
             )
-        )
+            model = aged.model_at(lux)
+            mpp = model.mpp()
+            if mpp.power <= 0.0:
+                scope.advance(1)
+                continue
+
+            sample_hold = copy.deepcopy(config.sample_hold)
+            sample_hold.sample(model, config.astable.t_on)
+            v_focv = min(
+                config.operating_point_from_held(sample_hold.held_sample), mpp.voc * 0.9999
+            )
+            p_focv = float(model.power_at(v_focv))
+
+            p_fixed = float(model.power_at(fixed_setpoint)) if fixed_setpoint < mpp.voc else 0.0
+
+            points.append(
+                AgingPoint(
+                    years=age,
+                    pmpp=mpp.power,
+                    vmpp=mpp.voltage,
+                    focv_efficiency=max(0.0, p_focv) / mpp.power,
+                    fixed_efficiency=max(0.0, p_fixed) / mpp.power,
+                )
+            )
+            scope.advance(1)
     return points
 
 

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.errors import ModelParameterError
+from repro.obs import journal
 from repro.obs.tracing import TRACER
 from repro.baselines import (
     FixedVoltage,
@@ -408,11 +409,29 @@ def run_comparison(
         )
         for scenario_name in selected_scenarios
     ]
-    with TRACER.trace("comparison"):
+    steps_per_run = int(round(duration / dt))
+    spec_summary = {
+        "experiment": "comparison",
+        "scenarios": list(selected_scenarios),
+        "techniques": list(selected_techniques),
+        "duration": duration,
+        "dt": dt,
+        "engine": engine,
+        "shading": shading,
+    }
+    total_steps = steps_per_run * len(selected_scenarios) * len(selected_techniques)
+    with TRACER.trace("comparison"), journal.run_scope(
+        "comparison", spec=spec_summary, total_steps=total_steps
+    ) as scope:
+        batch_steps = steps_per_run * len(selected_techniques)
         if parallel:
             batches = parallel_map(_run_scenario, specs, max_workers=max_workers)
+            scope.advance(batch_steps * len(batches))
         else:
-            batches = [_run_scenario(spec) for spec in specs]
+            batches = []
+            for spec in specs:
+                batches.append(_run_scenario(spec))
+                scope.advance(batch_steps)
 
     results: List[ComparisonCell] = []
     for batch in batches:

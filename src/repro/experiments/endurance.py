@@ -24,6 +24,7 @@ from repro.core.system import SampleHoldMPPT
 from repro.env.profiles import HOURS
 from repro.env.scenarios import weekly_office
 from repro.node.scheduler import EnergyAwareScheduler
+from repro.obs import journal
 from repro.node.sensor_node import SensorNode
 from repro.pv.cells import PVCell, am_1815
 from repro.sim.engines import resolve_engine
@@ -246,50 +247,55 @@ def run_week(
         next_ckpt = (math.floor(sim.time / checkpoint_every) + 1) * checkpoint_every
     ckpt_count = 0
 
-    while step < total_steps:
-        if day_acc is None:
-            day_acc = {
-                "harvested_before": sim.summary.energy_delivered,
-                "consumed_before": sim.summary.energy_load,
-                "reports_before": scheduler.reports_sent,
-                "min_v": storage.voltage,
-                "hibernated": False,
-            }
-        sim.step(dt)
-        day_acc["min_v"] = min(day_acc["min_v"], storage.voltage)
-        day_acc["hibernated"] = day_acc["hibernated"] or scheduler.hibernating
-        step += 1
-        if step % steps_per_day == 0:
-            day_list.append(
-                DaySummary(
-                    day=step // steps_per_day - 1,
-                    harvested_j=sim.summary.energy_delivered - day_acc["harvested_before"],
-                    consumed_j=sim.summary.energy_load - day_acc["consumed_before"],
-                    reports=scheduler.reports_sent - day_acc["reports_before"],
-                    store_end_v=storage.voltage,
-                    min_store_v=day_acc["min_v"],
-                    hibernated=day_acc["hibernated"],
+    with journal.run_scope(
+        "endurance", spec=spec, total_steps=total_steps, resumed_steps=step
+    ) as scope:
+        while step < total_steps:
+            if day_acc is None:
+                day_acc = {
+                    "harvested_before": sim.summary.energy_delivered,
+                    "consumed_before": sim.summary.energy_load,
+                    "reports_before": scheduler.reports_sent,
+                    "min_v": storage.voltage,
+                    "hibernated": False,
+                }
+            sim.step(dt)
+            day_acc["min_v"] = min(day_acc["min_v"], storage.voltage)
+            day_acc["hibernated"] = day_acc["hibernated"] or scheduler.hibernating
+            step += 1
+            if step % steps_per_day == 0:
+                day_list.append(
+                    DaySummary(
+                        day=step // steps_per_day - 1,
+                        harvested_j=sim.summary.energy_delivered - day_acc["harvested_before"],
+                        consumed_j=sim.summary.energy_load - day_acc["consumed_before"],
+                        reports=scheduler.reports_sent - day_acc["reports_before"],
+                        store_end_v=storage.voltage,
+                        min_store_v=day_acc["min_v"],
+                        hibernated=day_acc["hibernated"],
+                    )
                 )
-            )
-            day_acc = None
-        if next_ckpt is not None and sim.time >= next_ckpt:
-            save_checkpoint(
-                checkpoint_path,
-                kind="endurance",
-                state={
-                    "sim": sim.state_dict(),
-                    "scheduler": scheduler.state_dict(),
-                    "days_done": [d.to_dict() for d in day_list],
-                    "day": day_acc,
-                    "step": step,
-                },
-                spec=spec,
-                meta={"sim_time": sim.time},
-            )
-            ckpt_count += 1
-            next_ckpt = (math.floor(sim.time / checkpoint_every) + 1) * checkpoint_every
-            if on_checkpoint is not None:
-                on_checkpoint(ckpt_count, checkpoint_path)
+                day_acc = None
+                scope.advance_to(step)
+            if next_ckpt is not None and sim.time >= next_ckpt:
+                save_checkpoint(
+                    checkpoint_path,
+                    kind="endurance",
+                    state={
+                        "sim": sim.state_dict(),
+                        "scheduler": scheduler.state_dict(),
+                        "days_done": [d.to_dict() for d in day_list],
+                        "day": day_acc,
+                        "step": step,
+                    },
+                    spec=spec,
+                    meta={"sim_time": sim.time},
+                )
+                ckpt_count += 1
+                next_ckpt = (math.floor(sim.time / checkpoint_every) + 1) * checkpoint_every
+                scope.advance_to(step)
+                if on_checkpoint is not None:
+                    on_checkpoint(ckpt_count, checkpoint_path)
 
     return EnduranceResult(
         days=day_list,
@@ -486,26 +492,34 @@ def run_week_ensemble(
                             max_workers=max_workers)
 
     pending = [seed for seed in seeds if seed not in completed]
-    if checkpoint_path is None:
-        completed.update(zip(pending, run_batch(pending)))
-    else:
-        import os
+    with journal.run_scope(
+        "endurance-ensemble",
+        spec=dict(ensemble_spec, seeds=list(seeds)),
+        total_steps=len(seeds),
+        resumed_steps=len(seeds) - len(pending),
+    ) as scope:
+        if checkpoint_path is None:
+            completed.update(zip(pending, run_batch(pending)))
+            scope.advance(len(pending))
+        else:
+            import os
 
-        wave = max_workers if max_workers is not None else (os.cpu_count() or 1)
-        for start in range(0, len(pending), wave):
-            batch = pending[start : start + wave]
-            completed.update(zip(batch, run_batch(batch)))
-            save_checkpoint(
-                checkpoint_path,
-                kind="endurance-ensemble",
-                state={
-                    "completed": {
-                        str(seed): result.to_dict() for seed, result in completed.items()
-                    }
-                },
-                spec=ensemble_spec,
-                meta={"seeds_done": len(completed), "seeds_total": len(seeds)},
-            )
+            wave = max_workers if max_workers is not None else (os.cpu_count() or 1)
+            for start in range(0, len(pending), wave):
+                batch = pending[start : start + wave]
+                completed.update(zip(batch, run_batch(batch)))
+                save_checkpoint(
+                    checkpoint_path,
+                    kind="endurance-ensemble",
+                    state={
+                        "completed": {
+                            str(seed): result.to_dict() for seed, result in completed.items()
+                        }
+                    },
+                    spec=ensemble_spec,
+                    meta={"seeds_done": len(completed), "seeds_total": len(seeds)},
+                )
+                scope.advance(len(batch))
     return [completed[seed] for seed in seeds]
 
 

@@ -48,6 +48,7 @@ from repro.faults.components import (
 )
 from repro.faults.light import FlickerBurstFault, IrradianceRampFault, LightDropoutFault
 from repro.faults.schedule import FaultSchedule
+from repro.obs import journal
 from repro.pv.cells import PVCell, am_1815
 from repro.pv.thermal import CellThermalModel
 from repro.sim.engines import fleet_class, resolve_engine
@@ -737,43 +738,65 @@ def run_resilience(
         )
 
     pending = [spec for spec in specs if batch_key(spec) not in done]
-    if parallel and checkpoint_path is None:
-        batches = parallel_map(_run_campaign_scenario, pending, max_workers=max_workers)
-        for spec, batch in zip(pending, batches):
-            done[batch_key(spec)] = batch
-    elif parallel:
-        import os
-
-        wave = max_workers if max_workers is not None else (os.cpu_count() or 1)
-        for start in range(0, len(pending), wave):
-            chunk = pending[start : start + wave]
+    batch_steps = int(round(duration / dt)) * len(selected_techniques)
+    with journal.run_scope(
+        "resilience",
+        spec=run_spec,
+        total_steps=batch_steps * len(specs),
+        resumed_steps=batch_steps * (len(specs) - len(pending)),
+    ) as scope:
+        if parallel and checkpoint_path is None:
             batches = parallel_map(
-                _run_campaign_scenario, chunk, max_workers=max_workers
+                _run_campaign_scenario, pending, max_workers=max_workers
             )
-            for spec, batch in zip(chunk, batches):
+            for spec, batch in zip(pending, batches):
                 done[batch_key(spec)] = batch
-            save_progress()
-    else:
-        for spec in pending:
-            done[batch_key(spec)] = _run_campaign_scenario(spec)
-            save_progress()
+                scope.advance(batch_steps)
+        elif parallel:
+            import os
 
-    report = ResilienceReport(
-        seed=seed, duration=duration, dt=dt, campaigns=selected_campaigns
-    )
-    for spec in specs:
-        report.cells.extend(done[batch_key(spec)])
+            wave = max_workers if max_workers is not None else (os.cpu_count() or 1)
+            for start in range(0, len(pending), wave):
+                chunk = pending[start : start + wave]
+                batches = parallel_map(
+                    _run_campaign_scenario, chunk, max_workers=max_workers
+                )
+                for spec, batch in zip(chunk, batches):
+                    done[batch_key(spec)] = batch
+                save_progress()
+                scope.advance(batch_steps * len(chunk))
+        else:
+            current_campaign: Optional[str] = None
+            for spec in pending:
+                if spec.campaign != current_campaign:
+                    if current_campaign is not None:
+                        scope.campaign_end(current_campaign)
+                    current_campaign = spec.campaign
+                    scope.campaign_start(current_campaign, seed=seed)
+                done[batch_key(spec)] = _run_campaign_scenario(spec)
+                save_progress()
+                scope.advance(batch_steps)
+            if current_campaign is not None:
+                scope.campaign_end(current_campaign)
 
-    if include_recovery:
-        if cached_recovery is None:
-            cached_recovery = measure_recovery(selected_techniques, cell=cell)
-            save_progress()
-        report.recovery = cached_recovery
-    if include_coldstart:
-        if cached_coldstart is None:
-            cached_coldstart = coldstart_under_flicker(cell=cell, seed=seed)
-            save_progress()
-        report.coldstart = cached_coldstart
+        report = ResilienceReport(
+            seed=seed, duration=duration, dt=dt, campaigns=selected_campaigns
+        )
+        for spec in specs:
+            report.cells.extend(done[batch_key(spec)])
+
+        if include_recovery:
+            if cached_recovery is None:
+                with scope.phase("recovery"):
+                    cached_recovery = measure_recovery(selected_techniques, cell=cell)
+                save_progress()
+            report.recovery = cached_recovery
+        if include_coldstart:
+            if cached_coldstart is None:
+                with scope.phase("coldstart"):
+                    cached_coldstart = coldstart_under_flicker(cell=cell, seed=seed)
+                save_progress()
+            report.coldstart = cached_coldstart
     return report
 
 

@@ -40,6 +40,7 @@ from repro.experiments.comparison import (
     parse_shading_spec,
     run_comparison,
 )
+from repro.obs import journal
 from repro.obs.tracing import TRACER
 from repro.pv.cells import am_1815
 from repro.pv.string import CellString
@@ -214,12 +215,24 @@ def run_strings(
         else ["ideal-oracle", *CROSSOVER_TECHNIQUES]
     )
 
-    with TRACER.span("strings"):
-        census = run_knee_census(
-            cell, shading=f"blob:seed={int(seed)}", samples=census_samples
-        )
-        comparisons = {
-            "indoor edge-sweep": run_comparison(
+    run_spec = {
+        "experiment": "strings",
+        "cell": cell.name,
+        "duration": duration,
+        "dt": dt,
+        "engine": engine,
+        "techniques": list(selected),
+        "depths": [float(d) for d in depths],
+        "census_samples": census_samples,
+        "seed": seed,
+    }
+    with TRACER.span("strings"), journal.run_scope("strings", spec=run_spec) as scope:
+        with scope.phase("census"):
+            census = run_knee_census(
+                cell, shading=f"blob:seed={int(seed)}", samples=census_samples
+            )
+        with scope.phase("indoor edge-sweep"):
+            indoor = run_comparison(
                 cell=cell,
                 duration=duration,
                 dt=dt,
@@ -227,8 +240,9 @@ def run_strings(
                 scenarios=["office-desk"],
                 engine=engine,
                 shading="edge-sweep",
-            ),
-            "outdoor blob occlusion": run_comparison(
+            )
+        with scope.phase("outdoor blob occlusion"):
+            outdoor = run_comparison(
                 cell=cell,
                 duration=duration,
                 dt=dt,
@@ -236,11 +250,15 @@ def run_strings(
                 scenarios=["outdoor"],
                 engine=engine,
                 shading=f"blob:seed={int(seed)}",
-            ),
+            )
+        comparisons = {
+            "indoor edge-sweep": indoor,
+            "outdoor blob occlusion": outdoor,
         }
-        crossover = run_crossover_sweep(
-            cell, depths=depths, duration=duration, dt=dt, engine=engine
-        )
+        with scope.phase("crossover"):
+            crossover = run_crossover_sweep(
+                cell, depths=depths, duration=duration, dt=dt, engine=engine
+            )
 
     return StringsReport(
         cell=cell,

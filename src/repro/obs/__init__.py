@@ -36,8 +36,10 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-from repro.obs import export, metrics, tracing
+from repro.obs import export, journal, metrics, progress, tracing
+from repro.obs.journal import RunJournal, disable_journal, enable_journal, get_journal
 from repro.obs.metrics import HOOKS, REGISTRY, MetricsRegistry
+from repro.obs.progress import ProgressEstimator, ProgressTicker, replay_journal
 from repro.obs.tracing import TRACER, Tracer
 
 _enabled = False
@@ -98,9 +100,18 @@ __all__ = [
     "metrics",
     "tracing",
     "export",
+    "journal",
+    "progress",
     "REGISTRY",
     "TRACER",
     "HOOKS",
     "MetricsRegistry",
     "Tracer",
+    "RunJournal",
+    "enable_journal",
+    "disable_journal",
+    "get_journal",
+    "ProgressEstimator",
+    "ProgressTicker",
+    "replay_journal",
 ]

@@ -304,6 +304,12 @@ class Hooks:
     * ``fleet_nodes`` / ``fleet_steps`` — population sizes taken on by
       the vectorized fleet engine and node-steps it advanced
       (:mod:`repro.sim.fleet`).
+    * ``lut_builds`` / ``lut_validations`` — power-LUT tables built and
+      pre-run validation gates executed (:mod:`repro.pv.lut`) — the
+      compiled tier's dominant cold-start costs.
+    * ``compiled_program_hits`` / ``compiled_program_misses`` — compiled
+      comparison-program cache traffic (:mod:`repro.sim.compiled`); a
+      miss pays LUT build + validation + lane compilation.
     """
 
     __slots__ = (
@@ -328,6 +334,10 @@ class Hooks:
         "parallel_stalls",
         "fleet_nodes",
         "fleet_steps",
+        "lut_builds",
+        "lut_validations",
+        "compiled_program_hits",
+        "compiled_program_misses",
     )
 
     def __init__(self):
@@ -384,6 +394,19 @@ _HOOK_INSTRUMENTS = {
     ),
     "fleet_nodes": ("fleet.nodes", "nodes taken on by vectorized fleet runs"),
     "fleet_steps": ("fleet.steps", "node-steps advanced by the fleet engine"),
+    "lut_builds": ("pv.lut.builds", "power-LUT tables built (compiled-tier cold start)"),
+    "lut_validations": (
+        "pv.lut.validations",
+        "pre-run LUT validation gates executed against exact solves",
+    ),
+    "compiled_program_hits": (
+        "compiled.program_cache_hits",
+        "compiled comparison programs served from the program cache",
+    ),
+    "compiled_program_misses": (
+        "compiled.program_cache_misses",
+        "compiled comparison programs built from scratch (LUT + lanes)",
+    ),
 }
 
 

@@ -36,6 +36,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import LUTValidationError, ModelParameterError
+from repro.obs.metrics import HOOKS as _OBS
+from repro.obs.tracing import TRACER
 from repro.pv.batch import batch_current_at, solve_models, stack_model_params, take_params
 
 DEFAULT_GRID_POINTS = 129
@@ -121,24 +123,28 @@ class CellPowerLUT:
         self.rel_budget = float(rel_budget)
         self.abs_floor = float(abs_floor)
 
-        u = np.linspace(0.0, 1.0, self.grid_points)
-        self._x_grid = 1.0 - (1.0 - u) ** 2  # fraction of Voc per node
-        volts = self._node_grid()
-        self._nodes = volts
-        self._nodes_flat = np.ascontiguousarray(volts.ravel())
-        conditions = len(self.voc)
-        rows = np.repeat(np.arange(conditions, dtype=np.int64), self.grid_points)
-        current = self._exact_current(rows, volts.ravel())
-        power = np.maximum(0.0, volts.ravel() * current)
-        self.power_table = np.ascontiguousarray(power.reshape(conditions, self.grid_points))
-        # Rows whose Voc is zero (dark conditions) are all-zero by
-        # construction (V = 0 everywhere); force exact zeros anyway so
-        # NaNs from degenerate solves cannot leak into the table.
-        dark = self.voc <= 0.0
-        if dark.any():
-            self.power_table[dark] = 0.0
-        self.scale = np.maximum(self.power_table.max(axis=1), self.abs_floor)
-        self._flat = self.power_table.ravel()
+        with TRACER.span("lut:build"):
+            u = np.linspace(0.0, 1.0, self.grid_points)
+            self._x_grid = 1.0 - (1.0 - u) ** 2  # fraction of Voc per node
+            volts = self._node_grid()
+            self._nodes = volts
+            self._nodes_flat = np.ascontiguousarray(volts.ravel())
+            conditions = len(self.voc)
+            rows = np.repeat(np.arange(conditions, dtype=np.int64), self.grid_points)
+            current = self._exact_current(rows, volts.ravel())
+            power = np.maximum(0.0, volts.ravel() * current)
+            self.power_table = np.ascontiguousarray(power.reshape(conditions, self.grid_points))
+            # Rows whose Voc is zero (dark conditions) are all-zero by
+            # construction (V = 0 everywhere); force exact zeros anyway so
+            # NaNs from degenerate solves cannot leak into the table.
+            dark = self.voc <= 0.0
+            if dark.any():
+                self.power_table[dark] = 0.0
+            self.scale = np.maximum(self.power_table.max(axis=1), self.abs_floor)
+            self._flat = self.power_table.ravel()
+        h = _OBS.lut_builds
+        if h is not None:
+            h.inc()
 
     closed_form = True
     """Whether lookup uses the shared closed-form u-map (no node search).
@@ -253,6 +259,9 @@ class CellPowerLUT:
         :class:`~repro.errors.LUTValidationError` when the measured
         worst case exceeds :attr:`rel_budget`.
         """
+        h = _OBS.lut_validations
+        if h is not None:
+            h.inc()
         conditions = len(self.voc)
         lit = np.nonzero(self.voc > 0.0)[0]
         if lit.size == 0:
@@ -269,13 +278,14 @@ class CellPowerLUT:
             chosen = np.unique(np.append(spread, peak))
 
         g = self.grid_points
-        idx, flat_v = self._validation_points(chosen)
+        with TRACER.span("lut:validate"):
+            idx, flat_v = self._validation_points(chosen)
 
-        approx = self.power_many(idx, flat_v)
-        exact_i = self._exact_current(idx, flat_v)
-        exact = np.maximum(0.0, flat_v * exact_i)
-        err = np.abs(approx - exact)
-        rel = err / self.scale[idx]
+            approx = self.power_many(idx, flat_v)
+            exact_i = self._exact_current(idx, flat_v)
+            exact = np.maximum(0.0, flat_v * exact_i)
+            err = np.abs(approx - exact)
+            rel = err / self.scale[idx]
 
         report = LUTValidationReport(
             grid_points=g,

@@ -53,6 +53,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ModelParameterError, NumericalGuardError
+from repro.obs import journal as _journal
 from repro.obs.metrics import HOOKS as _OBS
 from repro.obs.tracing import TRACER
 from repro.pv.lut import (
@@ -1254,6 +1255,20 @@ class _ScenarioTables:
 _PROGRAM_CACHE: "OrderedDict[tuple, _ScenarioTables]" = OrderedDict()
 _PROGRAM_CACHE_MAX = 4
 
+_WARMED_KERNELS: set = set()
+"""Kernel functions that have run at least once in this process — with
+numba installed, a kernel's first call is the one that pays JIT
+compilation, so cold calls get their own trace span."""
+
+
+def _kernel_is_cold(kernel) -> bool:
+    """True exactly once per kernel function per process."""
+    key = id(kernel)
+    if key in _WARMED_KERNELS:
+        return False
+    _WARMED_KERNELS.add(key)
+    return True
+
 
 def clear_program_cache() -> None:
     """Drop every cached scenario program (test hook)."""
@@ -1318,19 +1333,27 @@ def _tables_for(
     )
     tables = _PROGRAM_CACHE.get(key)
     if tables is None:
+        h = _OBS.compiled_program_misses
+        if h is not None:
+            h.inc()
         from repro.pv.thermal import CellThermalModel
         from repro.sim.precompute import precompute_conditions
 
-        thermal = (
-            CellThermalModel(area_cm2=_cell_area_cm2(cell)) if use_thermal else None
-        )
-        pc = precompute_conditions(
-            cell, scenario_factory(), duration, dt, thermal=thermal, shading=shading
-        )
-        tables = _ScenarioTables(cell, pc, grid_points, rel_budget)
+        with TRACER.span("compiled:program-build"):
+            thermal = (
+                CellThermalModel(area_cm2=_cell_area_cm2(cell)) if use_thermal else None
+            )
+            pc = precompute_conditions(
+                cell, scenario_factory(), duration, dt, thermal=thermal, shading=shading
+            )
+            tables = _ScenarioTables(cell, pc, grid_points, rel_budget)
         _PROGRAM_CACHE[key] = tables
         while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAX:
             _PROGRAM_CACHE.popitem(last=False)
+    else:
+        h = _OBS.compiled_program_hits
+        if h is not None:
+            h.inc()
     return tables
 
 
@@ -1373,6 +1396,14 @@ def _run_lane(
     hill = prog.hill if prog.hill is not None else (0.0,) * 7
     h_step, h_period, h_frac, h_vop, h_prev, h_dir, h_next = hill
 
+    from contextlib import nullcontext
+
+    compile_span = (
+        TRACER.span("compiled:kernel-compile[lane]")
+        if _kernel_is_cold(_lane_kernel)
+        else nullcontext()
+    )
+
     if HAVE_NUMBA:
         rows = (prog.pv_row, prog.del_row, prog.oh_row)
         times = tables.times
@@ -1394,7 +1425,8 @@ def _run_lane(
         nodes = tables.nodes_l
     pv_row, del_row, oh_row = rows
 
-    e_cell, e_del, e_over, v_final, first_boot = _lane_kernel(
+    with compile_span:
+        result = _lane_kernel(
         tables.steps,
         tables.dt,
         times,
@@ -1435,6 +1467,7 @@ def _run_lane(
         h_dir,
         h_next,
     )
+    e_cell, e_del, e_over, v_final, first_boot = result
 
     # Photodiode safety valve: its one-time calibration was precomputed
     # at the first lit step; a bootstrap episode at or before that step
@@ -1507,6 +1540,15 @@ def run_comparison_scenario(
         shading=shading,
         shading_name=shading_name,
     )
+    j = _journal.JOURNAL
+    if j is not None:
+        j.emit(
+            _journal.ENGINE_RUN,
+            engine="compiled",
+            scenario=str(scenario_name),
+            lanes=len(lanes),
+            steps=tables.steps,
+        )
     results: Dict[str, Optional[HarvestSummary]] = {}
     steps_done = 0
     for name, ctl, conv, store in lanes:
@@ -1551,6 +1593,8 @@ class CompiledFleetSimulator(FleetSimulator):
             ``"python"`` (force the interpreted kernel — test hook), or
             ``"off"`` (always the NumPy path).
     """
+
+    engine_name = "compiled"
 
     def __init__(
         self,
@@ -1601,7 +1645,22 @@ class CompiledFleetSimulator(FleetSimulator):
         i1 = i0 + remaining
         if i1 > self.steps:
             raise ModelParameterError("fleet stepped past its precomputed horizon")
-        with TRACER.span(f"fleet:run[{self.n}]"):
+        j = _journal.JOURNAL
+        if j is not None:
+            j.emit(
+                _journal.ENGINE_RUN,
+                engine=self.engine_name,
+                steps=remaining,
+                nodes=self.n,
+            )
+        from contextlib import nullcontext
+
+        compile_span = (
+            TRACER.span("compiled:kernel-compile[fleet]")
+            if _kernel_is_cold(kernel)
+            else nullcontext()
+        )
+        with TRACER.span(f"fleet:run[{self.n}]"), compile_span:
             self._run_kernel(kernel, i0, i1)
         return self.summaries()
 

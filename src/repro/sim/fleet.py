@@ -59,6 +59,7 @@ from repro.faults.components import (
     StorageFault,
 )
 from repro.node.scheduler import EnergyAwareScheduler
+from repro.obs import journal as _journal
 from repro.obs.metrics import HOOKS as _OBS
 from repro.obs.tracing import TRACER
 from repro.pv.batch import (
@@ -275,6 +276,9 @@ class FleetSimulator:
         members: the fleet's nodes; all must share one time base and
             satisfy :func:`fleet_supported`.
     """
+
+    engine_name = "fleet"
+    """Tier label stamped into journal ``engine-run`` events."""
 
     def __init__(self, members: Sequence[FleetMember]):
         members = list(members)
@@ -878,6 +882,14 @@ class FleetSimulator:
     def run(self, steps: Optional[int] = None) -> List[HarvestSummary]:
         """Step through ``steps`` (default: the rest of the horizon)."""
         remaining = self.steps - self._step_index if steps is None else int(steps)
+        j = _journal.JOURNAL
+        if j is not None:
+            j.emit(
+                _journal.ENGINE_RUN,
+                engine=self.engine_name,
+                steps=remaining,
+                nodes=self.n,
+            )
         span = TRACER.span(f"fleet:run[{self.n}]")
         with span:
             for _ in range(remaining):

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 import repro.obs as obs
+from repro.obs import journal as _journal
 from repro.errors import (
     ModelParameterError,
     WorkerCrashError,
@@ -282,6 +283,13 @@ def _kill_stalled(beats, running: Sequence[int], stall_after: float) -> List[int
             h = _HOOKS.parallel_stalls
             if h is not None:
                 h.inc()
+            j = _journal.JOURNAL
+            if j is not None:
+                j.emit(
+                    _journal.WORKER_STALL,
+                    spec_index=index,
+                    silent_for=round(now - last, 3),
+                )
     return stalled
 
 
@@ -496,6 +504,14 @@ def _run_hardened(
                     h = _HOOKS.parallel_retries
                     if h is not None:
                         h.inc()
+                    j = _journal.JOURNAL
+                    if j is not None:
+                        j.emit(
+                            _journal.WORKER_RETRY,
+                            spec_index=index,
+                            attempt=attempts[index],
+                            failure=kind,
+                        )
                     _time.sleep(
                         _backoff_delay(index, attempts[index], backoff_base, backoff_cap)
                     )
@@ -511,6 +527,14 @@ def _run_hardened(
                     h = _HOOKS.parallel_quarantines
                     if h is not None:
                         h.inc()
+                    j = _journal.JOURNAL
+                    if j is not None:
+                        j.emit(
+                            _journal.WORKER_QUARANTINE,
+                            spec_index=index,
+                            attempts=attempts[index],
+                            error=repr(value),
+                        )
                 else:
                     raise value
             probe = pool_broke
@@ -544,6 +568,14 @@ def _run_serial_hardened(fn, specs, retries, backoff_base, backoff_cap, quaranti
                     h = _HOOKS.parallel_retries
                     if h is not None:
                         h.inc()
+                    j = _journal.JOURNAL
+                    if j is not None:
+                        j.emit(
+                            _journal.WORKER_RETRY,
+                            spec_index=index,
+                            attempt=attempt,
+                            failure="err",
+                        )
                     _time.sleep(_backoff_delay(index, attempt, backoff_base, backoff_cap))
                     continue
                 if quarantine:
@@ -555,6 +587,14 @@ def _run_serial_hardened(fn, specs, retries, backoff_base, backoff_cap, quaranti
                     h = _HOOKS.parallel_quarantines
                     if h is not None:
                         h.inc()
+                    j = _journal.JOURNAL
+                    if j is not None:
+                        j.emit(
+                            _journal.WORKER_QUARANTINE,
+                            spec_index=index,
+                            attempts=attempt,
+                            error=repr(exc),
+                        )
                     break
                 raise
     return results, quarantined, total_retries

@@ -30,6 +30,7 @@ from typing import Callable, Optional, Protocol, runtime_checkable
 
 import repro.obs as obs
 from repro.errors import ModelParameterError, NumericalGuardError
+from repro.obs import journal as _journal
 from repro.pv.cache import CachedPVCell
 from repro.pv.cells import PVCell
 from repro.pv.irradiance import FLUORESCENT, LightSource
@@ -539,6 +540,16 @@ class QuasiStaticSimulator:
         The disabled path is byte-for-byte the original loop.
         """
         steps = int(round(duration / dt))
+        j = _journal.JOURNAL
+        if j is not None:
+            j.emit(
+                _journal.ENGINE_RUN,
+                engine="scalar",
+                steps=steps,
+                technique=getattr(
+                    self.controller, "name", type(self.controller).__name__
+                ),
+            )
         if not obs.is_enabled():
             for _ in range(steps):
                 self.step(dt)

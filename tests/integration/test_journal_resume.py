@@ -1,0 +1,113 @@
+"""Journal integration: SIGKILL-then-resume telemetry replay.
+
+The observability acceptance gate: kill an endurance run mid-flight
+(SIGKILL — nothing cleans up, exactly like an OOM kill), resume it from
+its checkpoint with the same journal attached, and replay the combined
+journal.  The replayed state must show *cumulative* progress at least
+the pre-kill value and exactly one run-end event — the killed attempt
+never reached its run-end, and the estimator's monotonic counters plus
+the resumed run-start's ``resumed_steps`` stitch the two attempts into
+one run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.experiments.endurance import run_week
+from repro.obs import journal
+from repro.obs.progress import replay_journal
+
+DT = 60.0
+DAYS = 1
+CKPT_EVERY = 4.0 * 3600.0
+
+_CHILD = """\
+import os, signal, sys
+sys.path.insert(0, {src!r})
+from repro.experiments.endurance import run_week
+
+def kill_after(count, path):
+    if count >= 2:
+        os.kill(os.getpid(), signal.SIGKILL)  # no cleanup, no atexit
+
+run_week(dt={dt!r}, days={days!r}, checkpoint_path={ckpt!r},
+         checkpoint_every={every!r}, on_checkpoint=kill_after)
+raise SystemExit("should have been killed")
+"""
+
+
+def _env_with_journal(path):
+    env = dict(os.environ, REPRO_JOURNAL=str(path))
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = os.pathsep.join([src, env.get("PYTHONPATH", "")])
+    return env
+
+
+class TestSigkillJournalReplay:
+    def test_killed_then_resumed_run_replays_cumulatively(self, tmp_path):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        ckpt = str(tmp_path / "killed.ckpt.json")
+        jpath = tmp_path / "run.jsonl"
+        script = _CHILD.format(src=src, dt=DT, days=DAYS, ckpt=ckpt, every=CKPT_EVERY)
+
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            timeout=600,
+            env=_env_with_journal(jpath),
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+
+        # The journal survived the kill: run-start, progress, checkpoint
+        # saves — and no run-end (the run never completed).
+        killed = replay_journal(jpath)
+        assert killed.run_start_count == 1
+        assert killed.run_end_count == 0
+        assert not killed.finished
+        assert killed.checkpoint_saves >= 2
+        pre_kill = killed.steps_done
+        assert pre_kill > 0
+
+        # Resume in-process with the same journal appended to.
+        journal.enable_journal(jpath)
+        try:
+            resumed = run_week(dt=DT, days=DAYS, resume_from=ckpt)
+        finally:
+            journal.disable_journal()
+        assert resumed.to_dict() == run_week(dt=DT, days=DAYS).to_dict()
+
+        replay = replay_journal(jpath)
+        assert replay.steps_done >= pre_kill       # cumulative, never less
+        assert replay.run_start_count == 2          # killed + resumed
+        assert replay.run_end_count == 1            # only the resume ended
+        assert replay.finished
+        assert replay.checkpoint_restores == 1
+        assert replay.fraction == 1.0
+        total = int(DAYS * 24 * 3600 / DT)
+        assert replay.steps_done == total
+
+        # The resumed run-start declares where it picked up.
+        events = journal.read_journal(jpath)
+        starts = [e for e in events if e["event"] == journal.RUN_START]
+        assert starts[1]["resumed_steps"] > 0
+        # Two processes wrote the file; every line parsed cleanly.
+        assert len({e["pid"] for e in events}) == 2
+
+
+class TestCliJournalSmoke:
+    def test_cli_journal_and_progress_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jpath = tmp_path / "cli.jsonl"
+        assert main([
+            "endurance", "--days", "1", "--dt", "600",
+            "--journal", str(jpath),
+        ]) == 0
+        capsys.readouterr()
+        replay = replay_journal(jpath)
+        assert replay.kind == "endurance"
+        assert replay.finished and replay.run_end_count == 1
+        assert replay.fraction == 1.0

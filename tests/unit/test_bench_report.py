@@ -1,0 +1,197 @@
+"""Bench-ledger trend analysis: the regression gate's semantics.
+
+The contract: only same-host entries (matching
+:func:`~repro.sim.telemetry.host_fingerprint` dicts) are comparable;
+the median excludes the newest entry (the suspect never shifts its own
+bar); a flag fires when ``latest < threshold x median`` and at least
+``min_history`` same-host entries exist.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.obs import benchreport
+from repro.sim import telemetry
+
+HOST_A = {"python": "3.11.7", "numpy": "1.26.0", "cpu_count": 8}
+HOST_B = {"python": "3.12.1", "numpy": "2.0.0", "cpu_count": 96}
+
+
+def _entry(steps_per_s, host=HOST_A, note="test"):
+    return {
+        "wall_s": 1.0,
+        "steps": int(steps_per_s),
+        "steps_per_s": steps_per_s,
+        "note": note,
+        "recorded": "2026-08-07T00:00:00Z",
+        "host": host,
+    }
+
+
+def _write_ledger(path, experiments):
+    path.write_text(json.dumps({"schema": 1, "experiments": experiments}))
+    return path
+
+
+class TestAnalyzeLedger:
+    def test_sixty_percent_drop_is_flagged_at_default_threshold(self, tmp_path):
+        ledger = _write_ledger(tmp_path / "BENCH_perf.json", {
+            "comparison": [
+                _entry(100.0), _entry(110.0), _entry(90.0),
+                _entry(40.0, note="the regression"),  # 40% of median 100
+            ],
+        })
+        report = benchreport.analyze_ledger(path=ledger, host=HOST_A)
+        (trend,) = report.trends
+        assert trend.entries == 4 and trend.ignored == 0
+        assert trend.median_steps_per_s == pytest.approx(100.0)
+        assert trend.ratio == pytest.approx(0.4)
+        assert trend.regressed
+        assert report.regressions[0].experiment == "comparison"
+        assert report.regressions[0].latest_note == "the regression"
+
+    def test_small_dip_not_flagged(self, tmp_path):
+        ledger = _write_ledger(tmp_path / "l.json", {
+            "comparison": [_entry(100.0), _entry(100.0), _entry(60.0)],
+        })
+        report = benchreport.analyze_ledger(path=ledger, host=HOST_A)
+        (trend,) = report.trends
+        assert trend.ratio == pytest.approx(0.6)
+        assert not trend.regressed  # 0.6 >= default threshold 0.5
+
+    def test_cross_host_entries_are_ignored_not_compared(self, tmp_path):
+        """A 60% drop *relative to another machine* must not flag."""
+        ledger = _write_ledger(tmp_path / "l.json", {
+            "comparison": [
+                _entry(100.0, host=HOST_B),
+                _entry(110.0, host=HOST_B),
+                _entry(40.0, host=HOST_A),
+            ],
+        })
+        report = benchreport.analyze_ledger(path=ledger, host=HOST_A)
+        (trend,) = report.trends
+        assert trend.entries == 1 and trend.ignored == 2
+        assert trend.median_steps_per_s is None
+        assert not trend.regressed
+        assert report.regressions == []
+
+    def test_pre_fingerprint_entries_are_ignored(self, tmp_path):
+        legacy = {"wall_s": 1.0, "steps": 100, "steps_per_s": 100.0}  # no host
+        ledger = _write_ledger(tmp_path / "l.json", {
+            "comparison": [legacy, _entry(100.0), _entry(30.0)],
+        })
+        report = benchreport.analyze_ledger(path=ledger, host=HOST_A)
+        (trend,) = report.trends
+        assert trend.ignored == 1
+        assert trend.median_steps_per_s == pytest.approx(100.0)
+        assert trend.regressed  # 30 vs 100 — legacy row changed nothing
+
+    def test_single_entry_never_flags(self, tmp_path):
+        ledger = _write_ledger(tmp_path / "l.json", {
+            "comparison": [_entry(1.0)],
+        })
+        report = benchreport.analyze_ledger(path=ledger, host=HOST_A)
+        (trend,) = report.trends
+        assert trend.latest_steps_per_s == pytest.approx(1.0)
+        assert trend.ratio is None and not trend.regressed
+
+    def test_custom_threshold(self, tmp_path):
+        ledger = _write_ledger(tmp_path / "l.json", {
+            "comparison": [_entry(100.0), _entry(100.0), _entry(80.0)],
+        })
+        loose = benchreport.analyze_ledger(path=ledger, host=HOST_A, threshold=0.5)
+        tight = benchreport.analyze_ledger(path=ledger, host=HOST_A, threshold=0.9)
+        assert not loose.trends[0].regressed
+        assert tight.trends[0].regressed
+
+    def test_threshold_validation(self, tmp_path):
+        ledger = _write_ledger(tmp_path / "l.json", {})
+        with pytest.raises(ModelParameterError):
+            benchreport.analyze_ledger(path=ledger, threshold=0.0)
+        with pytest.raises(ModelParameterError):
+            benchreport.analyze_ledger(path=ledger, threshold=1.5)
+        with pytest.raises(ModelParameterError):
+            benchreport.analyze_ledger(path=ledger, min_history=1)
+
+    def test_missing_ledger_reads_empty(self, tmp_path):
+        report = benchreport.analyze_ledger(path=tmp_path / "absent.json")
+        assert report.trends == []
+
+    def test_defaults_to_current_host(self, tmp_path):
+        mine = telemetry.host_fingerprint()
+        ledger = _write_ledger(tmp_path / "l.json", {
+            "comparison": [_entry(100.0, host=mine), _entry(20.0, host=mine)],
+        })
+        report = benchreport.analyze_ledger(path=ledger)
+        assert report.trends[0].regressed
+
+
+class TestRendering:
+    def _report(self, tmp_path):
+        ledger = _write_ledger(tmp_path / "l.json", {
+            "fast": [_entry(100.0), _entry(100.0), _entry(101.0)],
+            "slow": [_entry(100.0), _entry(100.0), _entry(10.0)],
+        })
+        return benchreport.analyze_ledger(path=ledger, host=HOST_A)
+
+    def test_markdown(self, tmp_path):
+        text = benchreport.render_markdown(self._report(tmp_path))
+        assert "# Bench trend report" in text
+        assert "1 regression(s) flagged" in text
+        assert "**REGRESSED**" in text
+        assert "`fast`" in text and "`slow`" in text
+        assert benchreport.host_key(HOST_A) in text
+
+    def test_json_round_trip(self, tmp_path):
+        snap = self._report(tmp_path).to_dict()
+        again = json.loads(json.dumps(snap))
+        assert again["schema"] == 1
+        assert again["regressions"] == ["slow"]
+        assert len(again["trends"]) == 2
+
+    def test_write_report(self, tmp_path):
+        paths = benchreport.write_report(self._report(tmp_path), tmp_path / "out")
+        assert paths["markdown"].exists() and paths["json"].exists()
+        assert json.loads(paths["json"].read_text())["regressions"] == ["slow"]
+
+    def test_host_key(self):
+        assert benchreport.host_key(HOST_A) == "py3.11.7-numpy1.26.0-8cpu"
+        assert benchreport.host_key(None) == "unknown-host"
+        assert benchreport.host_key({}) == "unknown-host"
+
+
+class TestCli:
+    def test_bench_report_flags_injected_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = _write_ledger(tmp_path / "l.json", {
+            "comparison": [
+                _entry(100.0, host=telemetry.host_fingerprint()),
+                _entry(40.0, host=telemetry.host_fingerprint()),
+            ],
+        })
+        code = main(["bench", "report", "--path", str(ledger),
+                     "--fail-on-regression"])
+        out = capsys.readouterr().out
+        assert code != 0
+        assert "REGRESSED" in out
+
+    def test_bench_report_clean_exit(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = _write_ledger(tmp_path / "l.json", {
+            "comparison": [
+                _entry(100.0, host=telemetry.host_fingerprint()),
+                _entry(95.0, host=telemetry.host_fingerprint()),
+            ],
+        })
+        code = main(["bench", "report", "--path", str(ledger),
+                     "--fail-on-regression", "--format", "json",
+                     "--out", str(tmp_path / "reports")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert (tmp_path / "reports" / "bench_report.md").exists()
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert payload["regressions"] == []
