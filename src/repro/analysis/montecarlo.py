@@ -21,6 +21,7 @@ import numpy as np
 from repro.analog.components import Capacitor, ResistiveDivider, Resistor
 from repro.analog.opamp import OpAmpSpec, UnityGainBuffer
 from repro.analog.switch import AnalogSwitch, AnalogSwitchSpec
+from repro.ckpt.drain import check_drain
 from repro.core.sample_hold import SampleHoldCircuit
 from repro.errors import ModelParameterError
 from repro.obs import journal
@@ -392,6 +393,8 @@ def run_sample_hold_montecarlo(
                         meta={"chunks_done": len(done), "chunks_total": len(batches)},
                     )
                 scope.advance(sum(len(done[i]) for i in indices))
+                if len(done) < len(batches):
+                    check_drain(checkpoint_path, "montecarlo", len(done), len(batches))
         chunks = [done[i] for i in range(len(batches))]
 
     ratios = np.concatenate(chunks) if chunks else np.empty(0)

@@ -12,6 +12,10 @@ Three layers, used together by the long-running experiments:
 * :mod:`repro.ckpt.checkpoint` — the versioned JSON checkpoint
   envelope experiments save with ``checkpoint_every=`` and resume with
   ``python -m repro <experiment> --resume <ckpt>``.
+* :mod:`repro.ckpt.drain` — cooperative SIGTERM shutdown: checkpoint-
+  enabled loops poll the drain flag, write one final checkpoint, and
+  raise :class:`~repro.errors.RunDrainedError` so the CLI and the job
+  server exit 0 with nothing lost.
 
 The hard guarantee (gated by ``tests/integration/test_crash_resume.py``
 and the CI crash/resume smoke job): an interrupted-then-resumed run
@@ -31,6 +35,13 @@ from repro.ckpt.checkpoint import (
     check_spec_match,
     load_checkpoint,
     save_checkpoint,
+)
+from repro.ckpt.drain import (
+    RunDrainedError,
+    clear_drain,
+    drain_requested,
+    request_drain,
+    sigterm_drain,
 )
 from repro.ckpt.state import (
     Stateful,
@@ -53,6 +64,11 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "check_spec_match",
+    "RunDrainedError",
+    "request_drain",
+    "clear_drain",
+    "drain_requested",
+    "sigterm_drain",
     "Stateful",
     "capture_fields",
     "restore_fields",

@@ -115,7 +115,7 @@ def _lock_path(path: Union[str, Path]) -> Path:
 @contextmanager
 def file_lock(
     path: Union[str, Path],
-    timeout: float = 30.0,
+    timeout: Optional[float] = 30.0,
     poll_interval: float = 0.02,
 ) -> Iterator[Path]:
     """Hold an exclusive advisory lock on ``path``'s sidecar lock file.
@@ -124,8 +124,14 @@ def file_lock(
         path: the artifact being guarded (the lock file is
             ``<path>.lock`` next to it).
         timeout: seconds to keep retrying before raising
-            :class:`~repro.errors.LockTimeoutError`.
-        poll_interval: sleep between acquisition attempts, seconds.
+            :class:`~repro.errors.LockTimeoutError`.  ``None`` blocks
+            forever (a plain blocking ``flock``) — only safe when the
+            caller can tolerate waiting on an arbitrarily long-held
+            lock; the bounded default exists so a peer that *dies while
+            holding* a lock (or wedges mid-update) surfaces as a typed
+            error instead of hanging every future writer.
+        poll_interval: sleep between acquisition attempts, seconds
+            (bounded mode only).
 
     Yields:
         The lock-file path (mostly for tests).
@@ -137,18 +143,21 @@ def file_lock(
         return
     fd = os.open(str(lock_file), os.O_CREAT | os.O_RDWR, 0o644)
     try:
-        deadline = time.monotonic() + timeout
-        while True:
-            try:
-                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
-                break
-            except OSError:
-                if time.monotonic() >= deadline:
-                    raise LockTimeoutError(
-                        f"could not acquire {lock_file} within {timeout} s "
-                        "(another run holds the ledger?)"
-                    ) from None
-                time.sleep(poll_interval)
+        if timeout is None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        else:
+            deadline = time.monotonic() + timeout
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise LockTimeoutError(
+                            f"could not acquire {lock_file} within {timeout} s "
+                            "(another run holds the ledger?)"
+                        ) from None
+                    time.sleep(poll_interval)
         try:
             yield lock_file
         finally:
@@ -160,7 +169,7 @@ def file_lock(
 def locked_append_text(
     path: Union[str, Path],
     text: str,
-    timeout: float = 30.0,
+    timeout: Optional[float] = 30.0,
     fsync: bool = False,
 ) -> Path:
     """Append ``text`` to ``path`` under the advisory lock.
@@ -176,7 +185,8 @@ def locked_append_text(
     Args:
         path: destination file (created, with parents, if absent).
         text: the bytes to append, UTF-8 encoded.
-        timeout: lock acquisition bound, seconds.
+        timeout: lock acquisition bound, seconds (``None``: block
+            forever, see :func:`file_lock`).
         fsync: flush to disk before releasing the lock; off by default
             because journals are advisory telemetry, not checkpoints.
 
@@ -200,7 +210,7 @@ def locked_update_json(
     path: Union[str, Path],
     update: Callable[[Any], Any],
     default: Callable[[], Any] = dict,
-    timeout: float = 30.0,
+    timeout: Optional[float] = 30.0,
     fsync: bool = True,
 ) -> Any:
     """Read-modify-write a JSON artifact under the advisory lock.
@@ -217,7 +227,8 @@ def locked_update_json(
             the mutated payload, if it returns None) is written back.
         default: factory for the payload when the file is absent or
             unreadable.
-        timeout: lock acquisition bound, seconds.
+        timeout: lock acquisition bound, seconds (``None``: block
+            forever, see :func:`file_lock`).
         fsync: forwarded to :func:`atomic_write_json`.
 
     Returns:

@@ -1,0 +1,103 @@
+"""Cooperative drain: stop long runs gracefully with one final checkpoint.
+
+A SIGKILL is survivable (PR 4's crash-safe checkpoints resume bitwise),
+but it throws away everything since the last periodic checkpoint.  A
+SIGTERM — the polite shutdown every process supervisor sends first —
+can do better: ask the run to stop *now*, write one final checkpoint,
+and exit cleanly so the resume loses nothing.
+
+The mechanism is a process-wide event.  Checkpoint-enabled experiment
+loops poll :func:`drain_requested` once per step (an ``Event.is_set``,
+nanoseconds); when it fires they write a final checkpoint through their
+existing ``checkpoint_path`` plumbing and raise
+:class:`~repro.errors.RunDrainedError` carrying the checkpoint path.
+Two callers arm it:
+
+* the CLI (``python -m repro <experiment> --checkpoint …``) installs a
+  SIGTERM handler via :func:`sigterm_drain` and turns the raised
+  :class:`RunDrainedError` into a clean exit 0 with a resume hint;
+* the job server (:mod:`repro.service`) calls :func:`request_drain` on
+  SIGTERM so every in-flight job checkpoints, then re-queues each job
+  with ``resume_from`` set before the process exits 0.
+
+The event is global by design: drain means "this *process* is going
+away", never "stop one run of several".
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import RunDrainedError
+
+__all__ = [
+    "RunDrainedError",
+    "request_drain",
+    "clear_drain",
+    "drain_requested",
+    "check_drain",
+    "sigterm_drain",
+]
+
+_DRAIN = threading.Event()
+
+
+def request_drain() -> None:
+    """Ask every drain-aware loop in this process to checkpoint and stop."""
+    _DRAIN.set()
+
+
+def clear_drain() -> None:
+    """Reset the drain flag (tests, and server restart-in-process)."""
+    _DRAIN.clear()
+
+
+def drain_requested() -> bool:
+    """Whether a drain has been requested (polled by experiment loops)."""
+    return _DRAIN.is_set()
+
+
+def check_drain(checkpoint_path, kind: str, done: int, total: int) -> None:
+    """Batch-boundary drain point for chunked experiment loops.
+
+    Call immediately *after* the loop's periodic checkpoint write: if a
+    drain is pending the raise loses nothing — the checkpoint on disk
+    already holds every completed batch.  No-op when checkpointing is
+    off (a run that cannot resume is worth more finished than drained)
+    or when no drain was requested.
+
+    Raises:
+        RunDrainedError: naming the checkpoint to resume from.
+    """
+    if checkpoint_path is None or not _DRAIN.is_set():
+        return
+    raise RunDrainedError(
+        f"{kind} run drained after {done}/{total} completed batches; "
+        f"resume from {checkpoint_path}",
+        checkpoint_path=str(checkpoint_path),
+        step=int(done),
+    )
+
+
+@contextmanager
+def sigterm_drain() -> Iterator[None]:
+    """Route SIGTERM to :func:`request_drain` for the enclosed block.
+
+    The previous handler is restored (and the flag cleared) on exit.
+    Outside the main thread — where CPython refuses ``signal.signal`` —
+    this degrades to a no-op context so library callers can wrap
+    unconditionally.
+    """
+    try:
+        previous = signal.signal(signal.SIGTERM, lambda signum, frame: request_drain())
+    except ValueError:  # not the main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        clear_drain()

@@ -23,6 +23,13 @@ Usage::
                                               # live ETA + event journal
     python -m repro bench report [--threshold 0.5] [--fail-on-regression]
                                               # bench-ledger trend analysis
+    python -m repro serve [--port 8765] [--workers 2]
+                                              # fault-tolerant job service
+
+Exit codes (see README "Exit codes"): 0 success (including a graceful
+SIGTERM drain), 1 unexpected error, 2 usage error, 3 bench regression,
+4 invalid configuration, 5 numerical guard trip, 6 checkpoint/lock
+failure.
 """
 
 from __future__ import annotations
@@ -31,6 +38,36 @@ import argparse
 import contextlib
 import sys
 from typing import Callable, Dict
+
+# --- exit codes (stable CLI contract; mirrored in README) -------------------
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2  # argparse's own code, listed for completeness
+EXIT_BENCH_REGRESSION = 3
+EXIT_CONFIG = 4
+EXIT_GUARD = 5
+EXIT_CHECKPOINT = 6
+
+
+def classify_exit_code(exc: BaseException) -> int:
+    """Map a typed repro error to the documented exit code.
+
+    Order matters: :class:`RunDrainedError` *is a* CheckpointError but
+    a graceful drain is a success, and :class:`ConfigError` is a
+    ModelParameterError so the config bucket catches both.
+    """
+    from repro import errors
+
+    if isinstance(exc, errors.RunDrainedError):
+        return EXIT_OK
+    if isinstance(exc, errors.NumericalGuardError):
+        return EXIT_GUARD
+    if isinstance(exc, (errors.ModelParameterError, errors.ConfigurationError,
+                        errors.FaultConfigError)):
+        return EXIT_CONFIG
+    if isinstance(exc, (errors.CheckpointError, errors.LockTimeoutError)):
+        return EXIT_CHECKPOINT
+    return EXIT_ERROR
 
 
 def _cmd_table1(args) -> str:
@@ -265,6 +302,46 @@ def _cmd_bench(args) -> str:
     return "\n".join([text, *saved]) if saved else text
 
 
+def _cmd_serve(args) -> str:
+    """Run the fault-tolerant simulation job service until drained.
+
+    Blocks in ``serve_forever``; SIGTERM/SIGINT trigger the graceful
+    drain (stop admissions, checkpoint running jobs, persist the store)
+    after which this returns and the process exits 0.
+    """
+    from repro.service.server import JobServer
+
+    server = JobServer(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_attempts=args.max_attempts,
+        job_timeout=args.job_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        result_ttl=args.result_ttl,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server.install_signal_handlers()
+    server.start()
+    print(
+        f"[repro-service] listening on {server.url} "
+        f"(store: {args.data_dir}, workers: {args.workers}, "
+        f"queue depth: {args.queue_depth})",
+        flush=True,
+    )
+    if server.readmitted:
+        ids = ", ".join(r.job_id for r in server.readmitted)
+        print(f"[repro-service] recovered {len(server.readmitted)} "
+              f"interrupted job(s): {ids}", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.drain(timeout=args.drain_timeout)
+    return "[repro-service] drained cleanly; job store is consistent"
+
+
 @contextlib.contextmanager
 def _telemetry(args):
     """Arm the journal/ticker for one CLI invocation when asked.
@@ -414,11 +491,78 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--fail-on-regression", action="store_true",
                        help="exit non-zero when any regression is flagged")
     bench.set_defaults(_run=_cmd_bench)
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant simulation job service over HTTP "
+        "(crash-safe queue, retries, backpressure, graceful drain)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 binds an ephemeral port)")
+    serve.add_argument("--data-dir", default="service-jobs", metavar="DIR",
+                       help="crash-safe job store directory (survives restarts)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads executing jobs")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="bounded queue length; beyond it POST returns 429")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts before a failing job is quarantined")
+    serve.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                       help="wall-clock budget per attempt (default: none)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=None,
+                       metavar="S",
+                       help="abandon attempts silent for S seconds "
+                       "(journal events are the heartbeat)")
+    serve.add_argument("--result-ttl", type=float, default=300.0, metavar="S",
+                       help="seconds completed results answer duplicate specs")
+    serve.add_argument("--checkpoint-every", type=float, default=3600.0,
+                       metavar="SIM_S",
+                       help="simulated seconds between job checkpoints")
+    serve.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
+                       help="seconds to wait for running jobs on SIGTERM")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="append job/run events to a JSONL journal")
+    serve.add_argument("--progress", action="store_true",
+                       help="live progress line on stderr (journal-driven)")
+    serve.set_defaults(_run=_cmd_serve)
     return parser
 
 
+def _report_failure(args, exc: BaseException) -> int:
+    """Typed-error epilogue: journal a ``run-error``, print, pick the code.
+
+    Runs inside the ``_telemetry`` scope so the event reaches the
+    journal the run was using.  A :class:`RunDrainedError` is the one
+    "failure" that exits 0: the run already saved its final checkpoint,
+    so the user just gets the resume hint.
+    """
+    from repro import errors
+    from repro.obs import journal as journal_mod
+
+    code = classify_exit_code(exc)
+    journal_mod.emit(
+        journal_mod.RUN_ERROR,
+        source="cli",
+        command=args.command,
+        error=type(exc).__name__,
+        message=str(exc),
+        field=getattr(exc, "field", None) or None,
+        exit_code=code,
+    )
+    if isinstance(exc, errors.RunDrainedError):
+        print(f"[repro] drained: {exc}", file=sys.stderr)
+        if exc.checkpoint_path:
+            print(f"[repro] resume with: python -m repro {args.command} "
+                  f"--resume {exc.checkpoint_path}", file=sys.stderr)
+        return EXIT_OK
+    field = getattr(exc, "field", "")
+    where = f" (field: {field})" if field else ""
+    print(f"[repro] {type(exc).__name__}{where}: {exc}", file=sys.stderr)
+    return code
+
+
 def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code (see module docstring)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -426,10 +570,26 @@ def main(argv=None) -> int:
             print("available artefacts:")
             for name in sorted(COMMANDS):
                 print(f"  {name}")
-            return 0
+            return EXIT_OK
         handler = getattr(args, "_run", None) or COMMANDS[args.command]
-        with _telemetry(args):
-            text = handler(args)
+        # A checkpointing run turns SIGTERM into a cooperative drain:
+        # one final checkpoint, then RunDrainedError -> exit 0 below.
+        # (The service installs its own SIGTERM handling.)
+        if getattr(args, "checkpoint", None) is not None:
+            from repro.ckpt.drain import sigterm_drain
+
+            drain_ctx = sigterm_drain()
+        else:
+            drain_ctx = contextlib.nullcontext()
+        with _telemetry(args), drain_ctx:
+            try:
+                text = handler(args)
+            except Exception as exc:
+                from repro.errors import ReproError
+
+                if not isinstance(exc, ReproError):
+                    raise  # unexpected: full traceback, exit 1
+                return _report_failure(args, exc)
         print(text)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe — not an error.
@@ -437,7 +597,7 @@ def main(argv=None) -> int:
             sys.stdout.close()
         except Exception:
             pass
-    return int(getattr(args, "exit_code", 0))
+    return int(getattr(args, "exit_code", EXIT_OK))
 
 
 if __name__ == "__main__":

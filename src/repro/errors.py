@@ -104,6 +104,66 @@ class LockTimeoutError(ReproError, RuntimeError):
     """An advisory file lock could not be acquired within its timeout."""
 
 
+class RunDrainedError(CheckpointError):
+    """A run was stopped cooperatively (SIGTERM / service drain) after
+    writing one final checkpoint.  Not a failure: the checkpoint named
+    here resumes the run to a bitwise-identical result.
+    """
+
+    def __init__(self, message: str, checkpoint_path: str = "", step: int = -1):
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+        self.step = step
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for simulation-service (job server) failures."""
+
+
+class QueueFullError(ServiceError):
+    """Admission refused: the job queue is at its bounded depth.
+
+    ``retry_after`` is the suggested client backoff, seconds — the HTTP
+    layer surfaces it as a 429 with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceDrainingError(ServiceError):
+    """Admission refused: the server is draining (SIGTERM received)."""
+
+
+class JobNotFoundError(ServiceError, KeyError):
+    """No job with the requested id exists in the store."""
+
+
+class JobTimeoutError(ServiceError):
+    """A job attempt exceeded the service's per-job wall-clock budget,
+    or its heartbeat went silent — the attempt is abandoned and the job
+    retried/quarantined like any other failure."""
+
+    def __init__(self, message: str, job_id: str = "", timeout: float = float("nan")):
+        super().__init__(message)
+        self.job_id = job_id
+        self.timeout = timeout
+
+
+class ServiceClientError(ServiceError):
+    """The service answered a client request with an error status.
+
+    ``status`` is the HTTP status code; ``payload`` the decoded error
+    body (including ``field`` detail for 400 spec rejections and
+    ``retry_after`` for 429 backpressure)."""
+
+    def __init__(self, message: str, status: int = 0, payload: object = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload if payload is not None else {}
+
+
 class JournalError(ReproError, RuntimeError):
     """A run journal could not be written or replayed (strict mode only:
     the default reader tolerates a crash-truncated final line)."""

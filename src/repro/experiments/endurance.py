@@ -17,7 +17,8 @@ from typing import Callable, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.ckpt.checkpoint import check_spec_match, load_checkpoint, save_checkpoint
-from repro.errors import ModelParameterError, StateFormatError
+from repro.ckpt.drain import drain_requested
+from repro.errors import ModelParameterError, RunDrainedError, StateFormatError
 from repro.converter.buck_boost import BuckBoostConverter
 from repro.core.config import PlatformConfig
 from repro.core.system import SampleHoldMPPT
@@ -247,6 +248,15 @@ def run_week(
         next_ckpt = (math.floor(sim.time / checkpoint_every) + 1) * checkpoint_every
     ckpt_count = 0
 
+    def _snapshot() -> dict:
+        return {
+            "sim": sim.state_dict(),
+            "scheduler": scheduler.state_dict(),
+            "days_done": [d.to_dict() for d in day_list],
+            "day": day_acc,
+            "step": step,
+        }
+
     with journal.run_scope(
         "endurance", spec=spec, total_steps=total_steps, resumed_steps=step
     ) as scope:
@@ -281,13 +291,7 @@ def run_week(
                 save_checkpoint(
                     checkpoint_path,
                     kind="endurance",
-                    state={
-                        "sim": sim.state_dict(),
-                        "scheduler": scheduler.state_dict(),
-                        "days_done": [d.to_dict() for d in day_list],
-                        "day": day_acc,
-                        "step": step,
-                    },
+                    state=_snapshot(),
                     spec=spec,
                     meta={"sim_time": sim.time},
                 )
@@ -296,6 +300,21 @@ def run_week(
                 scope.advance_to(step)
                 if on_checkpoint is not None:
                     on_checkpoint(ckpt_count, checkpoint_path)
+            if checkpoint_path is not None and step < total_steps and drain_requested():
+                save_checkpoint(
+                    checkpoint_path,
+                    kind="endurance",
+                    state=_snapshot(),
+                    spec=spec,
+                    meta={"sim_time": sim.time, "drained": True},
+                )
+                scope.advance_to(step)
+                raise RunDrainedError(
+                    f"endurance run drained at step {step}/{total_steps}; "
+                    f"resume from {checkpoint_path}",
+                    checkpoint_path=str(checkpoint_path),
+                    step=step,
+                )
 
     return EnduranceResult(
         days=day_list,

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.ckpt.checkpoint import check_spec_match, load_checkpoint, save_checkpoint
+from repro.ckpt.drain import check_drain
 from repro.converter.buck_boost import BuckBoostConverter
 from repro.core.system import SampleHoldMPPT
 from repro.env.profiles import HOURS, ConstantProfile, LightProfile
@@ -765,6 +766,7 @@ def run_resilience(
                     done[batch_key(spec)] = batch
                 save_progress()
                 scope.advance(batch_steps * len(chunk))
+                check_drain(checkpoint_path, "resilience", len(done), len(specs))
         else:
             current_campaign: Optional[str] = None
             for spec in pending:
@@ -776,6 +778,7 @@ def run_resilience(
                 done[batch_key(spec)] = _run_campaign_scenario(spec)
                 save_progress()
                 scope.advance(batch_steps)
+                check_drain(checkpoint_path, "resilience", len(done), len(specs))
             if current_campaign is not None:
                 scope.campaign_end(current_campaign)
 

@@ -75,6 +75,11 @@ WORKER_STALL = "worker-stall"
 CAMPAIGN_START = "campaign-start"
 CAMPAIGN_END = "campaign-end"
 ENGINE_RUN = "engine-run"
+JOB_SUBMIT = "job-submit"
+JOB_START = "job-start"
+JOB_RETRY = "job-retry"
+JOB_QUARANTINE = "job-quarantine"
+JOB_COMPLETE = "job-complete"
 
 EVENTS = (
     RUN_START,
@@ -92,6 +97,11 @@ EVENTS = (
     CAMPAIGN_START,
     CAMPAIGN_END,
     ENGINE_RUN,
+    JOB_SUBMIT,
+    JOB_START,
+    JOB_RETRY,
+    JOB_QUARANTINE,
+    JOB_COMPLETE,
 )
 """Every event name the library emits (payloads may carry more keys)."""
 
@@ -545,4 +555,9 @@ __all__ = [
     "CAMPAIGN_START",
     "CAMPAIGN_END",
     "ENGINE_RUN",
+    "JOB_SUBMIT",
+    "JOB_START",
+    "JOB_RETRY",
+    "JOB_QUARANTINE",
+    "JOB_COMPLETE",
 ]

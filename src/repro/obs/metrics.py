@@ -310,6 +310,15 @@ class Hooks:
     * ``compiled_program_hits`` / ``compiled_program_misses`` — compiled
       comparison-program cache traffic (:mod:`repro.sim.compiled`); a
       miss pays LUT build + validation + lane compilation.
+    * ``service_submitted`` / ``service_coalesced`` /
+      ``service_rejected`` / ``service_retries`` /
+      ``service_quarantined`` / ``service_completed`` /
+      ``service_recovered`` — job-server lifecycle traffic
+      (:mod:`repro.service`): admissions, duplicate specs coalesced
+      onto a live run or served from the result cache, 429
+      backpressure rejections, per-job retry attempts, poison jobs
+      dead-lettered, jobs finished, and jobs re-admitted from the
+      store after a crash.
     """
 
     __slots__ = (
@@ -338,6 +347,13 @@ class Hooks:
         "lut_validations",
         "compiled_program_hits",
         "compiled_program_misses",
+        "service_submitted",
+        "service_coalesced",
+        "service_rejected",
+        "service_retries",
+        "service_quarantined",
+        "service_completed",
+        "service_recovered",
     )
 
     def __init__(self):
@@ -406,6 +422,25 @@ _HOOK_INSTRUMENTS = {
     "compiled_program_misses": (
         "compiled.program_cache_misses",
         "compiled comparison programs built from scratch (LUT + lanes)",
+    ),
+    "service_submitted": ("service.jobs_submitted", "jobs admitted into the service queue"),
+    "service_coalesced": (
+        "service.jobs_coalesced",
+        "duplicate specs coalesced onto a live job or the TTL result cache",
+    ),
+    "service_rejected": (
+        "service.jobs_rejected",
+        "submissions refused with 429 backpressure (queue at bounded depth)",
+    ),
+    "service_retries": ("service.job_retries", "failed job attempts scheduled for retry"),
+    "service_quarantined": (
+        "service.jobs_quarantined",
+        "poison jobs dead-lettered after exhausting their retry budget",
+    ),
+    "service_completed": ("service.jobs_completed", "jobs that finished with a result"),
+    "service_recovered": (
+        "service.jobs_recovered",
+        "jobs re-admitted from the crash-safe store after a server restart",
     ),
 }
 

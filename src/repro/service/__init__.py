@@ -1,0 +1,71 @@
+"""``repro.service`` — the fault-tolerant simulation service.
+
+Everything the CLI can run, as a long-lived job server: experiment
+requests arrive as JSON specs over HTTP, are validated through the same
+:mod:`repro.validation` machinery the CLI uses, and execute on a
+bounded worker pool with the full robustness contract — crash-safe job
+store, retry with deterministic-jitter backoff, poison-job quarantine,
+timeout/heartbeat supervision, admission control with request
+coalescing, and graceful drain.  ``python -m repro serve`` is the
+entry point; :mod:`repro.service.client` is the matching client.
+
+Layers (each one testable without the ones above it):
+
+* :mod:`repro.service.api` — spec schema, validation, and the mapping
+  from a validated spec to the experiment drivers.
+* :mod:`repro.service.jobstore` — one atomic JSON file per job;
+  recovery after SIGKILL.
+* :mod:`repro.service.queue` — :class:`JobService`: admission, the
+  bounded queue, workers, retry/quarantine, supervision, drain.
+* :mod:`repro.service.server` — the thin ``http.server`` front.
+* :mod:`repro.service.client` — stdlib HTTP client.
+"""
+
+from repro.service.api import (
+    CHECKPOINTABLE,
+    KINDS,
+    JobSpec,
+    build_spec,
+    run_job,
+    supports_checkpoint,
+)
+from repro.service.client import ServiceClient
+from repro.service.jobstore import (
+    ACTIVE_STATES,
+    CANCELLED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    JobRecord,
+    JobStore,
+)
+from repro.service.queue import JobService, backoff_delay
+from repro.service.server import MAX_BODY_BYTES, JobServer, run_server
+
+__all__ = [
+    "KINDS",
+    "CHECKPOINTABLE",
+    "JobSpec",
+    "build_spec",
+    "run_job",
+    "supports_checkpoint",
+    "STATES",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "QUARANTINED",
+    "CANCELLED",
+    "JobRecord",
+    "JobStore",
+    "JobService",
+    "backoff_delay",
+    "JobServer",
+    "run_server",
+    "MAX_BODY_BYTES",
+    "ServiceClient",
+]

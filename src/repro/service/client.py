@@ -1,0 +1,170 @@
+"""Minimal stdlib client for the simulation service.
+
+``http.client`` only — the same zero-dependency rule as the server.
+Every non-2xx response raises
+:class:`~repro.errors.ServiceClientError` carrying the decoded status
+and payload, so callers branch on ``exc.status`` instead of parsing
+message strings::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit({"kind": "comparison", "params": {"hours": 24}})
+    done = client.wait(job["job_id"], timeout=120)
+    print(done["result"]["net_energy_by_scenario"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ServiceClientError
+from repro.service.jobstore import QUARANTINED, SUCCEEDED, TERMINAL_STATES
+
+
+class ServiceClient:
+    """Blocking JSON client for one service endpoint.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8765`` (path is ignored).
+        timeout: socket timeout per request, seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ServiceClientError(f"unsupported scheme {parts.scheme!r}", status=0)
+        netloc = parts.netloc or parts.path  # tolerate "host:port" without scheme
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port) if port else 80
+        self.timeout = float(timeout)
+
+    # --- transport ----------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One JSON round-trip; returns ``(status, decoded_body)``.
+
+        Raises :class:`ServiceClientError` on any non-2xx status (the
+        decoded error body rides on ``exc.payload``) and on transport
+        failures (``status=0``).
+        """
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceClientError(
+                f"{method} {path} failed: {exc}", status=0
+            ) from exc
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            decoded = {"raw": raw.decode("utf-8", "replace")}
+        if status >= 300:
+            message = decoded.get("error") if isinstance(decoded, dict) else None
+            raise ServiceClientError(
+                f"{method} {path} -> {status}: {message or raw[:200]!r}",
+                status=status,
+                payload=decoded if isinstance(decoded, dict) else {},
+            )
+        return status, decoded
+
+    # --- API ----------------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a spec; returns the job dict (``coalesced`` key riding on it)."""
+        status, body = self.request("POST", "/v1/jobs", payload=spec)
+        job = dict(body["job"])
+        job["coalesced"] = bool(body.get("coalesced", status == 200))
+        return job
+
+    def get(self, job_id: str) -> Dict[str, Any]:
+        _, body = self.request("GET", f"/v1/jobs/{job_id}")
+        return body["job"]
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        _, body = self.request("GET", "/v1/jobs")
+        return body["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        _, body = self.request("DELETE", f"/v1/jobs/{job_id}")
+        return body["job"]
+
+    def healthy(self) -> bool:
+        try:
+            self.request("GET", "/healthz")
+            return True
+        except ServiceClientError:
+            return False
+
+    def ready(self) -> bool:
+        try:
+            self.request("GET", "/readyz")
+            return True
+        except ServiceClientError:
+            return False
+
+    def metrics_text(self) -> str:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            return response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final job dict for ``succeeded`` jobs; raises
+        :class:`ServiceClientError` when the job was quarantined or
+        cancelled (the job dict — including the preserved traceback —
+        rides on ``exc.payload``), or when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.get(job_id)
+            if job["state"] in TERMINAL_STATES:
+                if job["state"] == SUCCEEDED:
+                    return job
+                suffix = ""
+                if job["state"] == QUARANTINED and job.get("error"):
+                    suffix = f": {job['error'].strip().splitlines()[-1]}"
+                raise ServiceClientError(
+                    f"job {job_id} ended {job['state']}{suffix}",
+                    status=200,
+                    payload=job,
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {job_id} still {job['state']} after {timeout} s",
+                    status=0,
+                    payload=job,
+                )
+            time.sleep(poll_interval)
+
+
+__all__ = ["ServiceClient"]

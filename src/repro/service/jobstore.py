@@ -1,0 +1,226 @@
+"""Crash-safe persistence for service jobs: one atomic JSON file each.
+
+Every state transition a job makes — queued, running, retried,
+succeeded, quarantined, cancelled — is persisted *before* it is
+acknowledged, through :func:`repro.ckpt.atomic.atomic_write_json`
+(write-temp → fsync → rename).  A SIGKILL at any instant therefore
+leaves each job file either at its previous complete state or its new
+complete state, never torn — which is what lets :meth:`JobStore.recover`
+rebuild the queue after a crash and re-admit in-flight work.
+
+Envelope (schema-versioned like ``repro.ckpt``'s checkpoints)::
+
+    {"schema": 1, "job": {"job_id": ..., "kind": ..., "params": {...},
+                          "state": "running", "attempts": 1, ...}}
+
+Jobs of :data:`~repro.service.api.CHECKPOINTABLE` kinds also own a
+checkpoint file next to their record (``<job_id>.ckpt.json``); recovery
+points ``resume_from`` at it when it exists, so a resumed job continues
+mid-run to a bitwise-identical result instead of starting over.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.ckpt.atomic import atomic_write_json
+from repro.errors import JobNotFoundError
+
+JOB_SCHEMA = 1
+"""Version stamped into every job file; bumped on breaking changes."""
+
+# --- job states (the lifecycle state machine) -------------------------------
+QUEUED = "queued"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+QUARANTINED = "quarantined"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, SUCCEEDED, QUARANTINED, CANCELLED)
+ACTIVE_STATES = (QUEUED, RUNNING)
+TERMINAL_STATES = (SUCCEEDED, QUARANTINED, CANCELLED)
+
+_ID_RE = re.compile(r"^[0-9a-f]{12}-\d{6}$")
+
+
+@dataclass
+class JobRecord:
+    """Everything the service knows about one job.
+
+    Attributes:
+        job_id: ``<fingerprint[:12]>-<seq>`` — unique, sortable by
+            admission order, and prefix-greppable by spec.
+        kind / params: the validated :class:`~repro.service.api.JobSpec`.
+        fingerprint: the full coalescing key.
+        state: one of :data:`STATES`.
+        attempts: execution attempts so far (1 + retries consumed).
+        max_attempts: the retry budget this job was admitted with.
+        submitted_at / started_at / finished_at: wall-clock epochs.
+        heartbeat_at: last sign of life from the running attempt
+            (journal progress events touch it).
+        progress_steps / progress_total: journal-fed progress counters.
+        error: full traceback of the final failure (quarantine) or the
+            most recent failed attempt (while retrying).
+        result: the experiment's JSON result (succeeded only).
+        checkpoint_path: where the running attempt checkpoints, when
+            the kind supports it.
+        resume_from: checkpoint the next attempt resumes from.
+        recoveries: times this job was re-admitted after a server crash.
+        coalesced_hits: duplicate submissions answered with this job.
+    """
+
+    job_id: str
+    kind: str
+    params: Dict[str, Any]
+    fingerprint: str
+    state: str = QUEUED
+    attempts: int = 0
+    max_attempts: int = 3
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    heartbeat_at: Optional[float] = None
+    progress_steps: int = 0
+    progress_total: Optional[int] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    checkpoint_path: Optional[str] = None
+    resume_from: Optional[str] = None
+    recoveries: int = 0
+    coalesced_hits: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py39 compat
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def public_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        """The wire representation GET /v1/jobs returns."""
+        data = self.to_dict()
+        if not include_result:
+            data.pop("result", None)
+        return data
+
+
+class JobStore:
+    """Directory of atomically-written job files plus an id allocator.
+
+    Thread-safe: the HTTP handler threads, the worker pool, and the
+    supervisor all write through :meth:`save` concurrently.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._mutex = threading.Lock()
+        self._seq = 0
+        for record in self.load_all():
+            seq = int(record.job_id.rsplit("-", 1)[1])
+            self._seq = max(self._seq, seq)
+
+    # --- paths --------------------------------------------------------------
+
+    def job_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.job.json"
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.ckpt.json"
+
+    # --- id allocation ------------------------------------------------------
+
+    def new_job_id(self, fingerprint: str) -> str:
+        """Allocate the next id: spec-prefixed, admission-ordered."""
+        with self._mutex:
+            self._seq += 1
+            return f"{fingerprint[:12]}-{self._seq:06d}"
+
+    # --- persistence --------------------------------------------------------
+
+    def save(self, record: JobRecord) -> Path:
+        """Persist ``record`` atomically (crash leaves old or new, never torn)."""
+        return atomic_write_json(
+            self.job_path(record.job_id),
+            {"schema": JOB_SCHEMA, "job": record.to_dict()},
+        )
+
+    def load(self, job_id: str) -> JobRecord:
+        path = self.job_path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                envelope = json.load(fh)
+        except (OSError, ValueError):
+            raise JobNotFoundError(f"no job {job_id!r} in {self.root}") from None
+        return JobRecord.from_dict(envelope["job"])
+
+    def load_all(self) -> List[JobRecord]:
+        """Every parseable job record, oldest first.
+
+        Unparseable files (pre-atomic-era debris, foreign files) are
+        skipped — a corrupt record must never take the store down.
+        """
+        records: List[JobRecord] = []
+        for path in sorted(self.root.glob("*.job.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    envelope = json.load(fh)
+                if envelope.get("schema") != JOB_SCHEMA:
+                    continue
+                record = JobRecord.from_dict(envelope["job"])
+            except (OSError, ValueError, TypeError, KeyError):
+                continue
+            if _ID_RE.match(record.job_id):
+                records.append(record)
+        records.sort(key=lambda r: int(r.job_id.rsplit("-", 1)[1]))
+        return records
+
+    # --- crash recovery -----------------------------------------------------
+
+    def recover(self) -> Tuple[List[JobRecord], List[JobRecord]]:
+        """Re-admit interrupted jobs after a restart.
+
+        Returns ``(readmitted, finished)``: jobs found ``queued`` or
+        ``running`` are flipped back to ``queued`` — pointing
+        ``resume_from`` at their checkpoint when one landed before the
+        crash — persisted, and returned for re-enqueueing; terminal
+        jobs come back unchanged so the server can serve their results
+        and prime its coalescing cache.
+        """
+        readmitted: List[JobRecord] = []
+        finished: List[JobRecord] = []
+        for record in self.load_all():
+            if record.state in ACTIVE_STATES:
+                if record.state == RUNNING:
+                    record.recoveries += 1
+                record.state = QUEUED
+                ckpt = self.checkpoint_path(record.job_id)
+                if ckpt.exists():
+                    record.resume_from = str(ckpt)
+                record.heartbeat_at = None
+                self.save(record)
+                readmitted.append(record)
+            else:
+                finished.append(record)
+        return readmitted, finished
+
+
+__all__ = [
+    "JOB_SCHEMA",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "QUARANTINED",
+    "CANCELLED",
+    "STATES",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobStore",
+]

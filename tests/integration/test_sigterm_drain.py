@@ -1,0 +1,119 @@
+"""SIGTERM graceful drain for checkpointed experiment CLIs.
+
+The satellite contract: a checkpointing run that receives SIGTERM
+writes one final checkpoint, flushes the journal, prints the resume
+hint, and exits 0 — and resuming from that checkpoint produces a
+result bitwise-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.endurance import run_week
+
+DT = 20.0
+DAYS = 2
+CKPT_EVERY = 1800.0  # 90 steps between saves: many drain windows
+
+
+def _spawn_endurance(tmp_path, ckpt, jpath):
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([src, env.get("PYTHONPATH", "")])
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "endurance",
+            "--days", str(DAYS), "--dt", str(DT),
+            "--checkpoint", str(ckpt),
+            "--checkpoint-every", str(CKPT_EVERY),
+            "--journal", str(jpath),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        cwd=tmp_path,
+    )
+
+
+def _wait_for(path, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestSigtermDrain:
+    def test_sigterm_checkpoints_and_exits_zero(self, tmp_path):
+        ckpt = tmp_path / "drain.ckpt.json"
+        jpath = tmp_path / "drain.jsonl"
+        proc = _spawn_endurance(tmp_path, ckpt, jpath)
+        try:
+            assert _wait_for(ckpt), "no checkpoint before timeout"
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # Graceful drain is a success, with the resume hint on stderr.
+        assert proc.returncode == 0, stderr.decode()
+        err = stderr.decode()
+        assert "drained" in err
+        assert f"--resume {ckpt}" in err
+
+        # The final checkpoint is marked as the drain's own save.
+        envelope = json.loads(ckpt.read_text())
+        assert envelope["meta"].get("drained") is True
+
+        # Journal flushed: checkpoint saves recorded, but the run never
+        # emitted run-end — the drain interrupted it.
+        events = [
+            json.loads(line)
+            for line in jpath.read_text().splitlines()
+            if line.strip()
+        ]
+        names = [e["event"] for e in events]
+        assert "checkpoint-save" in names
+        assert "run-end" not in names
+        cli_errors = [e for e in events if e["event"] == "run-error"
+                      and e.get("source") == "cli"]
+        assert cli_errors and cli_errors[0]["error"] == "RunDrainedError"
+        assert cli_errors[0]["exit_code"] == 0
+
+        # Resuming finishes the run to a bitwise-identical result.
+        resumed = run_week(dt=DT, days=DAYS, resume_from=str(ckpt))
+        clean = run_week(dt=DT, days=DAYS)
+        assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+            clean.to_dict(), sort_keys=True
+        )
+
+    def test_run_without_checkpoint_ignores_drain_plumbing(self, tmp_path):
+        # No --checkpoint: SIGTERM keeps its default fatal behaviour —
+        # there is nothing safe to save — so only checkpointed runs opt
+        # into the cooperative drain.
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join([src, env.get("PYTHONPATH", "")])
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "endurance",
+             "--days", "2", "--dt", "20"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=tmp_path,
+        )
+        try:
+            time.sleep(1.0)  # let it get into the run
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == -signal.SIGTERM

@@ -79,6 +79,44 @@ class TestFileLock:
         with file_lock(target, timeout=0.5):
             pass
 
+    def test_timeout_error_is_typed_and_descriptive(self, tmp_path):
+        from repro.errors import ReproError
+
+        target = tmp_path / "ledger.json"
+        with file_lock(target):
+            with pytest.raises(LockTimeoutError) as excinfo:
+                with file_lock(target, timeout=0.05, poll_interval=0.01):
+                    pass  # pragma: no cover
+        assert isinstance(excinfo.value, ReproError)
+        assert "ledger.json" in str(excinfo.value)
+
+    def test_blocking_mode_waits_for_release(self, tmp_path):
+        """timeout=None means block (flock semantics), not fail."""
+        import threading
+        import time
+
+        target = tmp_path / "ledger.json"
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with file_lock(target):
+                held.set()
+                release.wait(5.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert held.wait(5.0)
+        releaser = threading.Timer(0.2, release.set)
+        releaser.start()
+        t0 = time.monotonic()
+        with file_lock(target, timeout=None):
+            waited = time.monotonic() - t0
+        thread.join(5.0)
+        releaser.cancel()
+        # Blocked until the holder let go — never raised, never spun out.
+        assert waited >= 0.15
+
 
 def _contend(args):
     """Worker: append one entry to the shared ledger under the lock."""

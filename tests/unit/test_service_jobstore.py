@@ -1,0 +1,119 @@
+"""Unit tests for the crash-safe job store (repro.service.jobstore)."""
+
+import json
+
+import pytest
+
+from repro.errors import JobNotFoundError
+from repro.service.jobstore import (
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    JobRecord,
+    JobStore,
+)
+
+
+def make_record(job_id="aaaaaaaaaaaa-000001", state=QUEUED, **kw):
+    defaults = dict(
+        job_id=job_id,
+        kind="endurance",
+        params={"days": 1, "dt": 20.0, "seed": 4},
+        fingerprint="aaaaaaaaaaaa" + "0" * 52,
+        state=state,
+        submitted_at=100.0,
+    )
+    defaults.update(kw)
+    return JobRecord(**defaults)
+
+
+class TestJobStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = make_record(attempts=2, error="boom", result={"x": 1})
+        store.save(record)
+        loaded = store.load(record.job_id)
+        assert loaded.to_dict() == record.to_dict()
+
+    def test_envelope_is_versioned(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = make_record()
+        path = store.save(record)
+        envelope = json.loads(path.read_text())
+        assert envelope["schema"] == 1
+        assert envelope["job"]["job_id"] == record.job_id
+
+    def test_load_missing_raises_typed(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(JobNotFoundError):
+            store.load("cafecafecafe-000009")
+
+    def test_load_all_skips_corrupt_files(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(make_record())
+        (tmp_path / "torn.job.json").write_text('{"schema": 1, "job": {"jo')
+        (tmp_path / "foreign.job.json").write_text('{"schema": 99, "job": {}}')
+        records = store.load_all()
+        assert [r.job_id for r in records] == ["aaaaaaaaaaaa-000001"]
+
+    def test_ids_are_sequential_and_spec_prefixed(self, tmp_path):
+        store = JobStore(tmp_path)
+        fp = "deadbeef0123" + "0" * 52
+        first = store.new_job_id(fp)
+        second = store.new_job_id(fp)
+        assert first == "deadbeef0123-000001"
+        assert second == "deadbeef0123-000002"
+
+    def test_id_allocator_survives_restart(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = make_record(job_id=store.new_job_id("a" * 64))
+        store.save(record)
+        fresh = JobStore(tmp_path)
+        assert fresh.new_job_id("b" * 64).endswith("-000002")
+
+
+class TestRecovery:
+    def test_running_job_readmitted_as_queued(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(make_record(state=RUNNING, attempts=1))
+        readmitted, finished = store.recover()
+        assert len(readmitted) == 1 and not finished
+        record = readmitted[0]
+        assert record.state == QUEUED
+        assert record.recoveries == 1
+        # and the flip was persisted
+        assert store.load(record.job_id).state == QUEUED
+
+    def test_queued_job_readmitted_without_recovery_count(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(make_record(state=QUEUED))
+        readmitted, _ = store.recover()
+        assert readmitted[0].recoveries == 0
+
+    def test_recovery_points_resume_at_existing_checkpoint(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = make_record(state=RUNNING)
+        store.save(record)
+        ckpt = store.checkpoint_path(record.job_id)
+        ckpt.write_text("{}")
+        readmitted, _ = store.recover()
+        assert readmitted[0].resume_from == str(ckpt)
+
+    def test_no_checkpoint_means_no_resume(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(make_record(state=RUNNING))
+        readmitted, _ = store.recover()
+        assert readmitted[0].resume_from is None
+
+    def test_terminal_jobs_come_back_unchanged(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(make_record(state=SUCCEEDED, result={"ok": 1}))
+        store.save(
+            make_record(
+                job_id="bbbbbbbbbbbb-000002", state=QUARANTINED, error="trace"
+            )
+        )
+        readmitted, finished = store.recover()
+        assert not readmitted
+        assert {r.state for r in finished} == {SUCCEEDED, QUARANTINED}
